@@ -1,0 +1,145 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The CLI is exercised through run(); output goes to the test's stdout,
+// assertions are on error values and produced artifacts.
+
+func TestRunRequiresArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args must fail")
+	}
+	if err := run([]string{"solve"}); err == nil {
+		t.Error("missing spec must fail")
+	}
+	if err := run([]string{"bogus", "path:3"}); err == nil {
+		t.Error("unknown subcommand must fail")
+	}
+	if err := run([]string{"solve", "unknown:spec"}); err == nil {
+		t.Error("bad spec must fail")
+	}
+	if err := run([]string{"solve", "path:3", "-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag must fail")
+	}
+}
+
+func TestRunInfo(t *testing.T) {
+	for _, spec := range []string{"grid:3,3", "complete:5", "cycle:7", "petersen"} {
+		if err := run([]string{"info", spec}); err != nil {
+			t.Errorf("info %s: %v", spec, err)
+		}
+	}
+}
+
+func TestRunSolve(t *testing.T) {
+	if err := run([]string{"solve", "cycle:8", "-nu", "4", "-k", "2", "-v"}); err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	// Unsolvable graphs surface an error.
+	if err := run([]string{"solve", "complete:5", "-k", "2"}); err == nil {
+		t.Error("K5 has no k-matching NE; solve must fail")
+	}
+}
+
+func TestRunPure(t *testing.T) {
+	if err := run([]string{"pure", "cycle:6", "-k", "3"}); err != nil {
+		t.Errorf("pure (exists): %v", err)
+	}
+	if err := run([]string{"pure", "cycle:6", "-k", "2"}); err != nil {
+		t.Errorf("pure (absent is not an error): %v", err)
+	}
+}
+
+func TestRunSim(t *testing.T) {
+	if err := run([]string{"sim", "kbip:2,3", "-nu", "3", "-k", "1", "-rounds", "500"}); err != nil {
+		t.Errorf("sim: %v", err)
+	}
+}
+
+func TestRunDot(t *testing.T) {
+	if err := run([]string{"dot", "grid:2,3", "-k", "1"}); err != nil {
+		t.Errorf("dot: %v", err)
+	}
+	// Fallback rendering for graphs without equilibria.
+	if err := run([]string{"dot", "complete:5", "-k", "1"}); err != nil {
+		t.Errorf("dot fallback: %v", err)
+	}
+}
+
+func TestRunSolveAny(t *testing.T) {
+	// Petersen admits no k-matching NE; -any must succeed anyway.
+	if err := run([]string{"solve", "petersen", "-nu", "2", "-k", "1", "-any", "-v"}); err != nil {
+		t.Fatalf("solve -any: %v", err)
+	}
+	// LP-minimax family on an odd wheel.
+	if err := run([]string{"solve", "wheel:7", "-k", "2", "-any"}); err != nil {
+		t.Fatalf("solve -any wheel: %v", err)
+	}
+}
+
+func TestRunPartition(t *testing.T) {
+	if err := run([]string{"partition", "grid:2,3"}); err != nil {
+		t.Errorf("partition: %v", err)
+	}
+	if err := run([]string{"partition", "complete:5"}); err == nil {
+		t.Error("K5 has no partition; must fail")
+	}
+}
+
+func TestRunValueAndLearn(t *testing.T) {
+	if err := run([]string{"value", "cycle:5", "-k", "1"}); err != nil {
+		t.Errorf("value: %v", err)
+	}
+	if err := run([]string{"learn", "star:5", "-rounds", "400"}); err != nil {
+		t.Errorf("learn: %v", err)
+	}
+}
+
+func TestRunCheckRoundTrip(t *testing.T) {
+	// Solve to JSON via the library path used by -json, then check it.
+	dir := t.TempDir()
+	profile := filepath.Join(dir, "ne.json")
+
+	// Generate the profile through the CLI by capturing stdout.
+	old := os.Stdout
+	f, err := os.Create(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = f
+	err = run([]string{"solve", "cycle:6", "-nu", "2", "-k", "2", "-json"})
+	os.Stdout = old
+	if cerr := f.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatalf("solve -json: %v", err)
+	}
+	data, err := os.ReadFile(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"tuplePlayer"`) {
+		t.Fatalf("profile JSON malformed:\n%s", data)
+	}
+
+	if err := run([]string{"check", "cycle:6", "-profile", profile}); err != nil {
+		t.Errorf("check: %v", err)
+	}
+	// Checking against the wrong graph must fail.
+	if err := run([]string{"check", "path:7", "-profile", profile}); err == nil {
+		t.Error("profile against wrong graph must fail")
+	}
+	// Missing flags and files.
+	if err := run([]string{"check", "cycle:6"}); err == nil {
+		t.Error("check without -profile must fail")
+	}
+	if err := run([]string{"check", "cycle:6", "-profile", filepath.Join(dir, "nope.json")}); err == nil {
+		t.Error("missing profile file must fail")
+	}
+}

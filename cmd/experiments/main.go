@@ -1,0 +1,85 @@
+// Command experiments regenerates every table of EXPERIMENTS.md: the
+// empirical counterparts of the theorems of "The Power of the Defender"
+// (ICDCS 2006). Each table carries a per-row self-check; the command exits
+// non-zero if any check fails, making it usable as a reproduction gate.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-only E2,E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/defender-game/defender/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		quick   = fs.Bool("quick", false, "run reduced sweeps")
+		seed    = fs.Int64("seed", 1, "workload seed")
+		only    = fs.String("only", "", "comma-separated experiment ids (e.g. E2,E5); empty = all")
+		figures = fs.Bool("figures", false, "also render the F1/F2 plain-text figures")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+
+	selected := make(map[string]bool)
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	failures := 0
+	ran := 0
+	for _, r := range experiments.All() {
+		if len(selected) > 0 && !selected[r.ID] {
+			continue
+		}
+		ran++
+		table, err := r.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		fmt.Println(table.Render())
+		if bad := table.Failures(); len(bad) > 0 {
+			failures += len(bad)
+			fmt.Fprintf(os.Stderr, "%s: %d self-check failures\n", r.ID, len(bad))
+		}
+	}
+	if *figures {
+		for _, f := range experiments.Figures() {
+			fig, err := f.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", f.ID, err)
+			}
+			fmt.Printf("%s — %s\n%s\n", fig.ID, fig.Title, fig.Body)
+			if !fig.OK {
+				failures++
+				fmt.Fprintf(os.Stderr, "%s: self-check failed\n", fig.ID)
+			}
+		}
+	}
+	if ran == 0 && !*figures {
+		return fmt.Errorf("no experiments matched -only=%q", *only)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d self-check failures across the suite", failures)
+	}
+	fmt.Printf("all %d experiments passed their self-checks\n", ran)
+	return nil
+}

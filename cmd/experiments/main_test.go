@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunSelectedQuick(t *testing.T) {
+	if err := run([]string{"-quick", "-only", "E1,E7"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunUnknownSelection(t *testing.T) {
+	if err := run([]string{"-only", "E99"}); err == nil {
+		t.Error("unknown experiment id must fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Error("bad flag must fail")
+	}
+}
+
+func TestRunCaseInsensitiveSelection(t *testing.T) {
+	if err := run([]string{"-quick", "-only", "e9"}); err != nil {
+		t.Fatalf("lower-case id: %v", err)
+	}
+}

@@ -1,0 +1,43 @@
+// Command graphgen emits graphs in the library's edge-list exchange format,
+// for piping into `defender <cmd> -` or saving for `@file` specs:
+//
+//	graphgen grid:4,5 > fabric.edges
+//	graphgen gnp:50,0.1,7 | defender info -
+//
+// It accepts the same graph specifications as the defender command, plus
+// the scale-free and small-world topologies:
+//
+//	ba:N,ATTACH[,SEED]   Barabási–Albert preferential attachment
+//	ws:N,K,P[,SEED]      Watts–Strogatz small world
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/gspec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: graphgen <graph-spec>")
+	}
+	g, err := generate(args[0])
+	if err != nil {
+		return err
+	}
+	return g.Write(out)
+}
+
+// generate resolves the spec through the shared grammar.
+func generate(spec string) (*graph.Graph, error) {
+	return gspec.Parse(spec)
+}

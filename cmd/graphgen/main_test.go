@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"github.com/defender-game/defender/internal/graph"
+)
+
+func TestGenerateFamilies(t *testing.T) {
+	tests := []struct {
+		spec  string
+		wantN int
+	}{
+		{"path:6", 6},
+		{"cycle:5", 5},
+		{"complete:4", 4},
+		{"star:7", 7},
+		{"kbip:2,3", 5},
+		{"grid:2,4", 8},
+		{"hypercube:3", 8},
+		{"petersen", 10},
+		{"tree:12", 12},
+		{"gnp:9,0.5,2", 9},
+		{"bip:3,4,0.5", 7},
+		{"ba:20,2,3", 20},
+		{"ws:20,4,0.2,3", 20},
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec, func(t *testing.T) {
+			g, err := generate(tt.spec)
+			if err != nil {
+				t.Fatalf("generate(%q): %v", tt.spec, err)
+			}
+			if g.NumVertices() != tt.wantN {
+				t.Errorf("n = %d, want %d", g.NumVertices(), tt.wantN)
+			}
+		})
+	}
+}
+
+func TestGenerateRoundTripsThroughParser(t *testing.T) {
+	g, err := generate("ba:25,2,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := graph.ParseString(g.EncodeString())
+	if err != nil {
+		t.Fatalf("parse back: %v", err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Error("round trip changed the edge count")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	bad := []string{
+		"", "wat:3", "path", "path:x", "kbip:1", "grid:2",
+		"gnp:5", "gnp:5,x", "bip:1,2", "bip:1,2,y",
+		"ba:10", "ws:10,4", "ws:10,4,z",
+	}
+	for _, spec := range bad {
+		if _, err := generate(spec); err == nil {
+			t.Errorf("generate(%q) should fail", spec)
+		}
+	}
+}
+
+func TestRunArgValidation(t *testing.T) {
+	if err := run(nil, nil); err == nil {
+		t.Error("no args must fail")
+	}
+	if err := run([]string{"a", "b"}, nil); err == nil {
+		t.Error("two args must fail")
+	}
+	if err := run([]string{"nope:1"}, nil); err == nil {
+		t.Error("bad spec must fail")
+	}
+}
+
+func TestRunWritesEdgeList(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "out-*.edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"cycle:5"}, f); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := graph.ParseString(string(data))
+	if err != nil {
+		t.Fatalf("parse back: %v", err)
+	}
+	if back.NumVertices() != 5 || back.NumEdges() != 5 {
+		t.Errorf("round trip: n=%d m=%d", back.NumVertices(), back.NumEdges())
+	}
+}

@@ -1,0 +1,119 @@
+package defender_test
+
+import (
+	"fmt"
+
+	defender "github.com/defender-game/defender"
+)
+
+// ExampleSolve computes the k-matching equilibrium of a grid network and
+// prints the paper's headline quantities.
+func ExampleSolve() {
+	g := defender.GridGraph(3, 4) // 12 hosts, 17 links, bipartite
+	ne, err := defender.Solve(g, 10 /* attackers */, 3 /* scanned links */)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("defender gain:", ne.DefenderGain().RatString())
+	fmt.Println("arrest probability:", ne.HitProbability().RatString())
+	fmt.Println("attacker support size:", len(ne.VPSupport))
+	// Output:
+	// defender gain: 5
+	// arrest probability: 1/2
+	// attacker support size: 6
+}
+
+// ExampleHasPureNE walks the Theorem 3.1 frontier on a cycle.
+func ExampleHasPureNE() {
+	g := defender.CycleGraph(6) // edge-cover number 3
+	for k := 2; k <= 4; k++ {
+		has, err := defender.HasPureNE(g, k)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("k=%d: %v\n", k, has)
+	}
+	// Output:
+	// k=2: false
+	// k=3: true
+	// k=4: true
+}
+
+// ExampleGameValue shows the LP minimax oracle on an odd cycle, where no
+// k-matching equilibrium exists but the game still has an exact value.
+func ExampleGameValue() {
+	value, err := defender.GameValue(defender.CycleGraph(5), 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("value:", value.RatString())
+	// Output:
+	// value: 2/5
+}
+
+// ExampleLift demonstrates Theorem 4.5: lifting an Edge-model matching
+// equilibrium to the Tuple model multiplies the gain by exactly k.
+func ExampleLift() {
+	g := defender.CompleteBipartiteGraph(3, 4)
+	edgeNE, err := defender.SolveEdge(g, 12)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	lifted, err := defender.Lift(edgeNE, 3)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("edge-model gain:", edgeNE.DefenderGain().RatString())
+	fmt.Println("k=3 gain:", lifted.DefenderGain().RatString())
+	// Output:
+	// edge-model gain: 3
+	// k=3 gain: 9
+}
+
+// ExampleSolveAny returns a verified equilibrium even on graphs admitting
+// no k-matching equilibrium, reporting which family it used.
+func ExampleSolveAny() {
+	ne, family, err := defender.SolveAny(defender.PetersenGraph(), 5, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("family:", family)
+	fmt.Println("gain:", ne.DefenderGain().RatString()) // 2·2·5/10
+	// Output:
+	// family: perfect-matching
+	// gain: 2
+}
+
+// ExampleCyclePathNE computes the patrol (Path-model) equilibrium on a
+// ring and its gain (k+1)·ν/n.
+func ExampleCyclePathNE() {
+	ne, err := defender.CyclePathNE(defender.CycleGraph(12), 8, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("patrol gain:", ne.DefenderGain().RatString())
+	// Output:
+	// patrol gain: 2
+}
+
+// ExampleFindPartition prints the Corollary 4.11 certificate for an even
+// cycle: the alternate vertices form the independent set.
+func ExampleFindPartition() {
+	p, err := defender.FindPartition(defender.CycleGraph(6))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("IS:", p.IS)
+	fmt.Println("VC:", p.VC)
+	// Output:
+	// IS: [1 3 5]
+	// VC: [0 2 4]
+}

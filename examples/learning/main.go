@@ -1,0 +1,69 @@
+// Learning: neither player knows any equilibrium theory — they just adapt.
+// This example runs fictitious play and multiplicative weights on the Edge
+// model, shows both bracketing the exact minimax value computed by the LP
+// oracle, and compares against the structural k-matching prediction where
+// one exists. Three completely independent routes, one number.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	defender "github.com/defender-game/defender"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	instances := []struct {
+		name string
+		g    *defender.Graph
+	}{
+		{"grid 2x3 (bipartite: k-matching theory applies)", defender.GridGraph(2, 3)},
+		{"C5 (odd cycle: NO k-matching equilibrium exists)", defender.CycleGraph(5)},
+		{"Petersen (3-regular, non-bipartite)", defender.PetersenGraph()},
+	}
+	for _, inst := range instances {
+		fmt.Printf("== %s ==\n", inst.name)
+
+		// Route 1: the structure-free LP oracle (exact rational).
+		value, err := defender.GameValue(inst.g, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("LP oracle (exact minimax):        value = %s\n", value.RatString())
+
+		// Route 2: structural equilibrium theory, where it applies.
+		if ne, err := defender.Solve(inst.g, 1, 1); err == nil {
+			fmt.Printf("k-matching theory:                value = %s (= k/|EC|)\n",
+				ne.HitProbability().RatString())
+		} else {
+			fmt.Printf("k-matching theory:                not applicable (%v)\n", err)
+		}
+
+		// Route 3a: fictitious play with exact rational bounds.
+		fp, err := defender.FictitiousPlay(inst.g, 6000)
+		if err != nil {
+			return err
+		}
+		lo, _ := fp.LowerBound.Float64()
+		hi, _ := fp.UpperBound.Float64()
+		fmt.Printf("fictitious play (6000 rounds):    value ∈ [%.4f, %.4f]  brackets=%v\n",
+			lo, hi, fp.Brackets(value))
+
+		// Route 3b: multiplicative weights.
+		mw, err := defender.MultiplicativeWeights(inst.g, 15000, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("multiplicative weights (15000):   value ∈ [%.4f, %.4f]\n\n",
+			mw.LowerBound, mw.UpperBound)
+	}
+	fmt.Println("Adaptive players converge to exactly the protection level the theory predicts:")
+	fmt.Println("the equilibrium is not just a fixed point — it is where learning ends up.")
+	return nil
+}

@@ -1,0 +1,77 @@
+// Pure equilibria: walk the Theorem 3.1 frontier on a small office network.
+// A pure Nash equilibrium exists exactly when the security software can
+// cover every host at once — k must reach the edge-cover number ρ(G) — and
+// Corollary 3.3 rules pure equilibria out whenever n >= 2k+1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	defender "github.com/defender-game/defender"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// An office network: two switches bridging workstation pools.
+	//   0,1        = switches (linked to each other)
+	//   2,3,4      = pool A on switch 0
+	//   5,6,7      = pool B on switch 1
+	g := defender.NewGraph(8)
+	edges := [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 5}, {1, 6}, {1, 7}}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	ec, err := defender.MinimumEdgeCover(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("office network: %d hosts, %d links, edge-cover number ρ(G) = %d\n\n",
+		g.NumVertices(), g.NumEdges(), len(ec))
+
+	const attackers = 3
+	for k := 1; k <= g.NumEdges(); k++ {
+		has, err := defender.HasPureNE(g, k)
+		if err != nil {
+			return err
+		}
+		ruledOut := g.NumVertices() >= 2*k+1
+		switch {
+		case has:
+			gm, p, err := defender.BuildPureNE(g, attackers, k)
+			if err != nil {
+				return err
+			}
+			ok, err := defender.IsPureNE(gm, p)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("k=%d: PURE NE — defender pins %v, catches all %d attackers (verified=%v)\n",
+				k, p.TupleChoice.Edges(g), gm.ProfitTP(p), ok)
+		case ruledOut:
+			fmt.Printf("k=%d: no pure NE (Cor 3.3: n=%d >= 2k+1=%d) — play mixed instead\n",
+				k, g.NumVertices(), 2*k+1)
+		default:
+			fmt.Printf("k=%d: no pure NE (no edge cover of size %d, Thm 3.1)\n", k, k)
+		}
+	}
+
+	// Below the pure frontier the defender still has a mixed guarantee.
+	fmt.Println()
+	for k := 1; k < len(ec); k++ {
+		ne, err := defender.Solve(g, attackers, k)
+		if err != nil {
+			return fmt.Errorf("mixed fallback k=%d: %w", k, err)
+		}
+		fmt.Printf("k=%d mixed fallback: expected catch %s of %d attackers\n",
+			k, ne.DefenderGain().RatString(), attackers)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+// Quickstart: compute a k-matching Nash equilibrium on a small bipartite
+// network and print the equilibrium structure, the defender's gain and the
+// linearity-in-k of the paper's headline theorem.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	defender "github.com/defender-game/defender"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 3x4 grid network: 12 hosts, 17 links. Grids are bipartite, so
+	// Theorem 5.1 guarantees a k-matching equilibrium for every feasible k.
+	g := defender.GridGraph(3, 4)
+	const attackers = 10
+
+	fmt.Printf("network: %d hosts, %d links\n\n", g.NumVertices(), g.NumEdges())
+
+	// Solve the Edge model first (defender scans a single link).
+	edgeNE, err := defender.SolveEdge(g, attackers)
+	if err != nil {
+		return fmt.Errorf("solve edge model: %w", err)
+	}
+	fmt.Printf("Edge model (k=1): defender catches %s attackers per round in expectation\n",
+		edgeNE.DefenderGain().RatString())
+
+	// Now give the defender more power: scan k links at once.
+	for k := 1; k <= 4; k++ {
+		ne, err := defender.Solve(g, attackers, k)
+		if err != nil {
+			return fmt.Errorf("solve k=%d: %w", k, err)
+		}
+		// Every equilibrium this library produces verifies exactly.
+		if err := defender.VerifyNE(ne.Game, ne.Profile); err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+		ratio := new(big.Rat).Quo(ne.DefenderGain(), edgeNE.DefenderGain())
+		fmt.Printf("k=%d: gain=%-6s arrest-probability=%-5s gain/gain(1)=%s\n",
+			k, ne.DefenderGain().RatString(), ne.HitProbability().RatString(), ratio.RatString())
+	}
+
+	fmt.Println("\nThe gain ratio equals k exactly: the power of the defender is linear (Thm 4.5).")
+	return nil
+}

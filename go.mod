@@ -1,0 +1,3 @@
+module github.com/defender-game/defender
+
+go 1.22

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/defender-game/defender/internal/game"
+	"github.com/defender-game/defender/internal/graph"
+)
+
+// Verifier soundness under tampering: starting from a genuine equilibrium,
+// every strict perturbation of the probability mass must be rejected. A
+// verifier that waves tampered profiles through would make every other
+// green test in this repository meaningless, so these tests attack it
+// directly.
+
+// perturbVertexStrategy moves probability mass eps from one support vertex
+// of the common attacker strategy onto another vertex (possibly outside
+// the support), returning the tampered profile.
+func perturbVertexStrategy(gm *game.Game, mp game.MixedProfile, from, to int, eps *big.Rat) game.MixedProfile {
+	s := mp.VP[0]
+	probs := make(map[int]*big.Rat)
+	for _, v := range s.Support() {
+		probs[v] = new(big.Rat).Set(s.Prob(v))
+	}
+	probs[from] = new(big.Rat).Sub(probs[from], eps)
+	if _, ok := probs[to]; !ok {
+		probs[to] = new(big.Rat)
+	}
+	probs[to] = new(big.Rat).Add(probs[to], eps)
+	tampered := game.NewVertexStrategy(probs)
+	return game.NewSymmetricProfile(gm.Attackers(), tampered, mp.TP)
+}
+
+// perturbTupleStrategy moves probability eps from the first support tuple
+// to the second.
+func perturbTupleStrategy(gm *game.Game, mp game.MixedProfile, eps *big.Rat) (game.MixedProfile, error) {
+	tuples := mp.TP.Support()
+	if len(tuples) < 2 {
+		return game.MixedProfile{}, errors.New("need two support tuples")
+	}
+	probs := make([]*big.Rat, len(tuples))
+	for i, t := range tuples {
+		probs[i] = new(big.Rat).Set(mp.TP.Prob(t))
+	}
+	probs[0] = new(big.Rat).Sub(probs[0], eps)
+	probs[1] = new(big.Rat).Add(probs[1], eps)
+	ts, err := game.NewTupleStrategy(tuples, probs)
+	if err != nil {
+		return game.MixedProfile{}, err
+	}
+	out := mp
+	out.TP = ts
+	return out, nil
+}
+
+func TestVerifierRejectsAttackerTampering(t *testing.T) {
+	g := graph.CompleteBipartite(3, 4)
+	ne, err := SolveTupleModel(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyNE(ne.Game, ne.Profile); err != nil {
+		t.Fatalf("baseline must verify: %v", err)
+	}
+	eps := big.NewRat(1, 20)
+
+	// Move attacker mass from a support vertex onto a cover vertex (hit
+	// more often): the tampered support vertex set now contains a vertex
+	// that is not a best response.
+	from := ne.VPSupport[0]
+	var to int
+	for v := 0; v < g.NumVertices(); v++ {
+		if !graph.SetContains(ne.VPSupport, v) {
+			to = v
+			break
+		}
+	}
+	tampered := perturbVertexStrategy(ne.Game, ne.Profile, from, to, eps)
+	if err := VerifyNE(ne.Game, tampered); !errors.Is(err, ErrNotEquilibrium) {
+		t.Errorf("attacker tampering passed verification: %v", err)
+	}
+}
+
+func TestVerifierRejectsDefenderTampering(t *testing.T) {
+	g := graph.Grid(3, 4)
+	ne, err := SolveTupleModel(g, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered, err := perturbTupleStrategy(ne.Game, ne.Profile, big.NewRat(1, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unequal tuple probabilities skew hit probabilities: some support
+	// vertex of the attackers stops being minimal.
+	if err := VerifyNE(ne.Game, tampered); !errors.Is(err, ErrNotEquilibrium) {
+		t.Errorf("defender tampering passed verification: %v", err)
+	}
+}
+
+// Property: random small perturbations of genuine equilibria are always
+// rejected (on instances where the perturbation actually changes the
+// best-response structure — all bipartite families used here).
+func TestPropertyVerifierRejectsPerturbations(t *testing.T) {
+	families := []*graph.Graph{
+		graph.CompleteBipartite(2, 4),
+		graph.Cycle(8),
+		graph.Grid(2, 4),
+		graph.Star(6),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := families[int(uint64(seed)%uint64(len(families)))]
+		ne, err := SolveTupleModel(g, 2, 1+rng.Intn(2))
+		if errors.Is(err, ErrKTooLarge) {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		eps := big.NewRat(1, int64(10+rng.Intn(50)))
+		from := ne.VPSupport[rng.Intn(len(ne.VPSupport))]
+		to := rng.Intn(g.NumVertices())
+		if to == from {
+			return true // identity move: still an equilibrium, skip
+		}
+		tampered := perturbVertexStrategy(ne.Game, ne.Profile, from, to, eps)
+		if err := ne.Game.Validate(tampered); err != nil {
+			return true // perturbation produced an invalid distribution
+		}
+		err = VerifyNE(ne.Game, tampered)
+		if err == nil {
+			// Moving mass within the equilibrium support keeps all best
+			// responses best: that IS still an equilibrium. Only accept
+			// a pass in that case.
+			return graph.SetContains(ne.VPSupport, to)
+		}
+		return errors.Is(err, ErrNotEquilibrium)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVerifierAcceptsWithinSupportReweighting documents the flip side: the
+// attackers' equilibrium conditions constrain only the SUPPORT (all
+// support vertices minimal-hit), so rebalancing attacker mass across the
+// equilibrium support... changes tuple loads and may break the DEFENDER's
+// indifference. On K_{2,2} symmetry keeps it an equilibrium.
+func TestVerifierAcceptsWithinSupportReweighting(t *testing.T) {
+	g := graph.CompleteBipartite(2, 2) // C4
+	ne, err := SolveTupleModel(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ne.VPSupport) != 2 {
+		t.Fatalf("|IS| = %d, want 2", len(ne.VPSupport))
+	}
+	// On K_{2,2} with IS = one side and EC the two parallel edges, moving
+	// attacker mass between the two IS vertices changes edge loads and
+	// breaks defender indifference -> must be rejected.
+	tampered := perturbVertexStrategy(ne.Game, ne.Profile, ne.VPSupport[0], ne.VPSupport[1], big.NewRat(1, 4))
+	if err := VerifyNE(ne.Game, tampered); !errors.Is(err, ErrNotEquilibrium) {
+		t.Errorf("load-skewing reweight passed: %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/defender-game/defender/internal/cover"
+	"github.com/defender-game/defender/internal/graph"
+)
+
+// ErrKTooLarge is returned when k exceeds the size of the constructed edge
+// support |E(D(tp))| = |IS|: tuples of k distinct edges cannot then be drawn
+// from the support, so no k-matching equilibrium with this support exists.
+// (The paper assumes k <= |D_s'(tp)| implicitly: Claim 4.3 yields hit
+// probability k/|E(D(tp))|, which must not exceed 1.)
+var ErrKTooLarge = errors.New("core: k exceeds the matching-equilibrium edge support size")
+
+// AlgorithmATuple is the paper's Algorithm A_tuple (Figure 1): given a
+// partition of V(G) into an independent set IS and VC = V \ IS with G a
+// VC-expander, it
+//
+//  1. runs Algorithm A on Π_1(G) to obtain a matching NE s',
+//  2. labels the edges of D_s'(tp) consecutively,
+//  3. forms the set T of cyclic k-windows over those edges (CyclicTuples),
+//  4. takes D(VP) := IS and D(tp) := T,
+//  5. assigns the uniform distributions of Lemma 4.1.
+//
+// The result is a k-matching mixed Nash equilibrium of Π_k(G) (Theorem
+// 4.12) computed in O(k·n) time after step 1 (Theorem 4.13).
+func AlgorithmATuple(g *graph.Graph, attackers, k int, p cover.Partition) (TupleEquilibrium, error) {
+	edgeNE, err := AlgorithmA(g, attackers, p)
+	if err != nil {
+		return TupleEquilibrium{}, err
+	}
+	return LiftToTupleModel(edgeNE, k)
+}
+
+// SolveTupleModel computes a k-matching NE of Π_k(G) end to end: it finds a
+// partition (cover.FindNEPartition) and runs Algorithm A_tuple. For
+// bipartite graphs this is the paper's Theorem 5.1 pipeline with total cost
+// max{O(k·n), O(m√n)}.
+func SolveTupleModel(g *graph.Graph, attackers, k int) (TupleEquilibrium, error) {
+	p, err := cover.FindNEPartition(g)
+	if err != nil {
+		if errors.Is(err, cover.ErrNoPartition) {
+			return TupleEquilibrium{}, fmt.Errorf("%w: %v", ErrNoMatchingNE, err)
+		}
+		return TupleEquilibrium{}, err
+	}
+	return AlgorithmATuple(g, attackers, k, p)
+}
+
+// AdmitsKMatchingNE decides the characterization of Corollary 4.11: Π_k(G)
+// admits a k-matching NE iff V(G) partitions into an independent set IS and
+// VC with G a VC-expander. The returned error distinguishes proven
+// non-existence (ErrNoMatchingNE) from a heuristic give-up
+// (cover.ErrPartitionNotFound); the partition is returned on success.
+//
+// Note the characterization is independent of k; availability of tuples of
+// k distinct support edges additionally needs k <= |IS| (ErrKTooLarge is
+// reported by the constructions when violated).
+func AdmitsKMatchingNE(g *graph.Graph) (cover.Partition, error) {
+	p, err := cover.FindNEPartition(g)
+	if errors.Is(err, cover.ErrNoPartition) {
+		return cover.Partition{}, fmt.Errorf("%w: %v", ErrNoMatchingNE, err)
+	}
+	return p, err
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/big"
+	"sort"
+
+	"github.com/defender-game/defender/internal/game"
+	"github.com/defender-game/defender/internal/graph"
+)
+
+// Branch-and-bound maximizer for the general case of MaxTupleLoad:
+// arbitrary nonnegative vertex loads, where neither structural shortcut
+// applies. The search explores edge subsets in descending-potential order
+// (potential of an edge = sum of its endpoint loads, an upper bound on its
+// marginal contribution) and prunes any branch whose optimistic bound —
+// current load plus the largest remaining potentials — cannot beat the
+// incumbent. Exact when it completes; bounded by a node budget so callers
+// get ErrCannotVerify instead of an open-ended search.
+
+// bnbNodeBudget caps the number of search-tree nodes expanded.
+const bnbNodeBudget = 4_000_000
+
+// maxLoadBranchBound computes max_t m(t) exactly for arbitrary nonnegative
+// loads, or ok=false if the node budget is exhausted first.
+func maxLoadBranchBound(g *graph.Graph, k int, loads []*big.Rat) (*big.Rat, game.Tuple, bool) {
+	m := g.NumEdges()
+	// Edges sorted by descending potential.
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	potential := make([]*big.Rat, m)
+	for id := 0; id < m; id++ {
+		e := g.EdgeByID(id)
+		potential[id] = new(big.Rat).Add(loads[e.U], loads[e.V])
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return potential[order[a]].Cmp(potential[order[b]]) > 0
+	})
+	// prefix[i] = sum of the i largest potentials (in sorted order).
+	prefix := make([]*big.Rat, m+1)
+	prefix[0] = new(big.Rat)
+	for i, id := range order {
+		prefix[i+1] = new(big.Rat).Add(prefix[i], potential[id])
+	}
+	// topRemaining(pos, c) = sum of the c largest potentials at sorted
+	// positions >= pos — they are exactly positions pos..pos+c-1.
+	topRemaining := func(pos, c int) *big.Rat {
+		hi := pos + c
+		if hi > m {
+			hi = m
+		}
+		return new(big.Rat).Sub(prefix[hi], prefix[pos])
+	}
+
+	var (
+		best      = new(big.Rat).SetInt64(-1)
+		bestIDs   []int
+		chosen    = make([]int, 0, k)
+		covered   = make(map[int]int, 2*k)
+		current   = new(big.Rat)
+		nodes     = 0
+		exhausted = false
+	)
+	var dfs func(pos int)
+	dfs = func(pos int) {
+		if exhausted {
+			return
+		}
+		nodes++
+		if nodes > bnbNodeBudget {
+			exhausted = true
+			return
+		}
+		if len(chosen) == k {
+			if current.Cmp(best) > 0 {
+				best.Set(current)
+				bestIDs = append(bestIDs[:0], chosen...)
+			}
+			return
+		}
+		remainingSlots := k - len(chosen)
+		if m-pos < remainingSlots {
+			return // not enough edges left
+		}
+		// Optimistic bound: current + best possible remaining potentials.
+		bound := new(big.Rat).Add(current, topRemaining(pos, remainingSlots))
+		if bound.Cmp(best) <= 0 {
+			return
+		}
+		// Branch 1: take order[pos].
+		id := order[pos]
+		e := g.EdgeByID(id)
+		addedU := covered[e.U] == 0
+		addedV := covered[e.V] == 0
+		covered[e.U]++
+		covered[e.V]++
+		if addedU {
+			current.Add(current, loads[e.U])
+		}
+		if addedV {
+			current.Add(current, loads[e.V])
+		}
+		chosen = append(chosen, id)
+		dfs(pos + 1)
+		chosen = chosen[:len(chosen)-1]
+		covered[e.U]--
+		covered[e.V]--
+		if addedU {
+			current.Sub(current, loads[e.U])
+		}
+		if addedV {
+			current.Sub(current, loads[e.V])
+		}
+		// Branch 2: skip order[pos].
+		dfs(pos + 1)
+	}
+	dfs(0)
+	if exhausted || best.Sign() < 0 {
+		return nil, game.Tuple{}, false
+	}
+	t, err := game.NewTupleFromIDs(g, bestIDs)
+	if err != nil {
+		return nil, game.Tuple{}, false
+	}
+	return best, t, true
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/defender-game/defender/internal/graph"
+)
+
+// Property: branch and bound agrees with exhaustive enumeration on random
+// general loads (not independent, not uniform — the case neither
+// structural shortcut covers).
+func TestPropertyBranchBoundAgreesWithExhaustive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(4+rng.Intn(6), 0.5, seed)
+		k := 1 + rng.Intn(min(4, g.NumEdges()))
+		loads := make([]*big.Rat, g.NumVertices())
+		for i := range loads {
+			loads[i] = big.NewRat(int64(rng.Intn(6)), int64(1+rng.Intn(3)))
+		}
+		bb, bbWitness, ok := maxLoadBranchBound(g, k, loads)
+		if !ok {
+			return false // these instances are tiny; budget can't blow
+		}
+		ex, _, err := maxLoadExhaustive(g, k, loads)
+		if err != nil {
+			return false
+		}
+		if bb.Cmp(ex) != 0 {
+			return false
+		}
+		// Witness attains the claimed value.
+		return tupleLoadOf(g, loads, bbWitness).Cmp(bb) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchBoundHandlesZeroLoads(t *testing.T) {
+	g := graph.Cycle(6)
+	loads := zeroLoads(6)
+	value, witness, ok := maxLoadBranchBound(g, 2, loads)
+	if !ok {
+		t.Fatal("budget blown on trivial instance")
+	}
+	if value.Sign() != 0 {
+		t.Errorf("value = %v, want 0", value)
+	}
+	if witness.Size() != 2 {
+		t.Errorf("witness size = %d", witness.Size())
+	}
+}
+
+func TestBranchBoundLargeInstance(t *testing.T) {
+	// C(60, 4) ≈ 487k exceeds nothing, but use k=6: C(60,6) ≈ 50M — far
+	// beyond the exhaustive limit; B&B must still finish by pruning
+	// (loads concentrated on few vertices prune aggressively).
+	g := graph.RandomConnected(40, 0.08, 3)
+	if g.NumEdges() < 45 {
+		t.Skip("instance too sparse for the scenario")
+	}
+	loads := zeroLoads(g.NumVertices())
+	loads[0] = big.NewRat(5, 1)
+	loads[1] = big.NewRat(4, 1)
+	loads[2] = big.NewRat(3, 1)
+	loads[3] = big.NewRat(2, 1)
+	// Make the loaded set non-independent if possible so the general path
+	// is exercised through MaxTupleLoad.
+	value, witness, err := MaxTupleLoad(g, 6, loads)
+	if err != nil {
+		t.Fatalf("MaxTupleLoad: %v", err)
+	}
+	if tupleLoadOf(g, loads, witness).Cmp(value) != 0 {
+		t.Error("witness does not attain the value")
+	}
+	// Upper bound sanity: cannot exceed the total load.
+	total := big.NewRat(14, 1)
+	if value.Cmp(total) > 0 {
+		t.Errorf("value %v exceeds total load", value)
+	}
+}
+
+// TestVerifyNEUsesBranchBound: an equilibrium-like profile with general
+// loads on a mid-size instance verifies through the B&B path rather than
+// erroring. We use the LP oracle's defender strategy on a non-bipartite
+// graph with 2 attackers on mixed supports.
+func TestVerifyNEUsesBranchBound(t *testing.T) {
+	g := graph.Wheel(8) // hub + rim: non-bipartite, loads won't be uniform
+	loads := zeroLoads(8)
+	loads[0] = big.NewRat(1, 2)
+	loads[1] = big.NewRat(1, 3)
+	loads[2] = big.NewRat(1, 6)
+	// Hub and two adjacent rim vertices: dependent, non-uniform.
+	if independentInGraph(g, []int{0, 1, 2}) {
+		t.Fatal("test premise: loads must be on dependent vertices")
+	}
+	value, _, err := MaxTupleLoad(g, 2, loads)
+	if err != nil {
+		t.Fatalf("MaxTupleLoad: %v", err)
+	}
+	// Two edges can cover all three loaded vertices: (0,1) and (1,2)...
+	// wait, those cover {0,1,2} exactly: total 1.
+	if value.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("value = %v, want 1", value)
+	}
+}

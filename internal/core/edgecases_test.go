@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"github.com/defender-game/defender/internal/graph"
+)
+
+// Boundary instances that exercise the degenerate corners of every
+// construction at once.
+
+func TestSmallestInstanceK2(t *testing.T) {
+	// K2, one attacker, k = 1 = m: the only edge covers everything.
+	g := graph.Path(2)
+	ne, err := SolveTupleModel(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCharacterization(ne.Game, ne.Profile); err != nil {
+		t.Fatal(err)
+	}
+	if ne.DefenderGain().Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("gain = %v, want 1 (certain catch)", ne.DefenderGain())
+	}
+	if ne.HitProbability().Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("hit = %v, want 1", ne.HitProbability())
+	}
+	// Pure NE exists too (k = ρ = 1).
+	has, err := HasPureNE(g, 1)
+	if err != nil || !has {
+		t.Errorf("HasPureNE = (%v, %v), want true", has, err)
+	}
+}
+
+func TestDisconnectedBipartiteInstance(t *testing.T) {
+	// Three disjoint edges: disconnected, bipartite, no isolated vertices.
+	// The theory only needs the absence of isolated vertices; everything
+	// must work across components.
+	g := graph.PerfectMatchingGraph(6)
+	for k := 1; k <= 3; k++ {
+		ne, err := SolveTupleModel(g, 4, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := VerifyNE(ne.Game, ne.Profile); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		want := big.NewRat(int64(k)*4, int64(len(ne.VPSupport)))
+		if ne.DefenderGain().Cmp(want) != 0 {
+			t.Errorf("k=%d: gain %v, want %v", k, ne.DefenderGain(), want)
+		}
+	}
+	// The perfect-matching construction also covers this instance.
+	pm, err := PerfectMatchingNE(g, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyNE(pm.Game, pm.Profile); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisconnectedMixedComponents(t *testing.T) {
+	// An even cycle next to a star: bipartite, disconnected.
+	g, _ := graph.DisjointUnion(graph.Cycle(4), graph.Star(4))
+	ne, err := SolveTupleModel(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCharacterization(ne.Game, ne.Profile); err != nil {
+		t.Fatal(err)
+	}
+	// The edge support must span both components (it is an edge cover).
+	touched := make(map[int]bool)
+	for _, e := range ne.EdgeSupport {
+		touched[e.U] = true
+		touched[e.V] = true
+	}
+	if len(touched) != g.NumVertices() {
+		t.Errorf("edge support covers %d of %d vertices", len(touched), g.NumVertices())
+	}
+}
+
+func TestSingleAttackerManyEdgesOfPower(t *testing.T) {
+	// k = |EC| exactly: hit probability 1 everywhere on the support —
+	// every attacker is caught with certainty.
+	g := graph.CompleteBipartite(2, 5)
+	base, err := SolveTupleModel(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := len(base.EdgeSupport)
+	ne, err := SolveTupleModel(g, 1, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne.HitProbability().Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("hit = %v, want 1 at k = |EC|", ne.HitProbability())
+	}
+	if len(ne.Tuples) != 1 {
+		t.Errorf("δ = %d, want 1 (single tuple containing every support edge)", len(ne.Tuples))
+	}
+}
+
+func TestLargeAttackerPopulation(t *testing.T) {
+	// ν = 10000 attackers stress the rational arithmetic but change
+	// nothing structurally.
+	g := graph.Grid(3, 3)
+	ne, err := SolveTupleModel(g, 10_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyNE(ne.Game, ne.Profile); err != nil {
+		t.Fatal(err)
+	}
+	want := big.NewRat(2*10_000, int64(len(ne.VPSupport)))
+	if ne.DefenderGain().Cmp(want) != 0 {
+		t.Errorf("gain = %v, want %v", ne.DefenderGain(), want)
+	}
+}
+
+func TestStarExtremes(t *testing.T) {
+	// Stars maximize |IS|/n: the defender's per-k protection is the
+	// weakest possible among connected graphs of the same order.
+	g := graph.Star(50)
+	ne, err := SolveTupleModel(g, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ne.VPSupport) != 49 {
+		t.Errorf("|IS| = %d, want 49 leaves", len(ne.VPSupport))
+	}
+	if ne.HitProbability().Cmp(big.NewRat(1, 49)) != 0 {
+		t.Errorf("hit = %v, want 1/49", ne.HitProbability())
+	}
+	if err := VerifyNE(ne.Game, ne.Profile); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/defender-game/defender/internal/game"
+	"github.com/defender-game/defender/internal/graph"
+)
+
+func TestCheckKMatchingConfigurationViolations(t *testing.T) {
+	g := graph.Cycle(6) // edges i:(i,i+1 mod 6)
+	gm, err := game.New(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkTuple := func(ids ...int) game.Tuple {
+		tp, err := game.NewTupleFromIDs(g, ids)
+		if err != nil {
+			t.Fatalf("tuple %v: %v", ids, err)
+		}
+		return tp
+	}
+	mkProfile := func(vp []int, tuples ...game.Tuple) game.MixedProfile {
+		ts, err := game.UniformTupleStrategy(tuples)
+		if err != nil {
+			t.Fatalf("tuple strategy: %v", err)
+		}
+		return game.NewSymmetricProfile(2, game.UniformVertexStrategy(vp), ts)
+	}
+
+	t.Run("dependent attacker support", func(t *testing.T) {
+		mp := mkProfile([]int{0, 1}, mkTuple(0, 3))
+		if err := CheckKMatchingConfiguration(gm, mp); !errors.Is(err, ErrNotKMatching) {
+			t.Errorf("err = %v, want ErrNotKMatching", err)
+		}
+	})
+
+	t.Run("support vertex on two support edges", func(t *testing.T) {
+		// Vertex 1 lies on edges 0:(0,1) and 1:(1,2).
+		mp := mkProfile([]int{1}, mkTuple(0, 1))
+		if err := CheckKMatchingConfiguration(gm, mp); !errors.Is(err, ErrNotKMatching) {
+			t.Errorf("err = %v, want ErrNotKMatching", err)
+		}
+	})
+
+	t.Run("support vertex on no support edge", func(t *testing.T) {
+		mp := mkProfile([]int{0, 3}, mkTuple(1, 4)) // edges (1,2),(4,5)
+		if err := CheckKMatchingConfiguration(gm, mp); !errors.Is(err, ErrNotKMatching) {
+			t.Errorf("err = %v, want ErrNotKMatching", err)
+		}
+	})
+
+	t.Run("unequal edge multiplicity", func(t *testing.T) {
+		// Tuples {0,2}, {0,4}: edge 0 twice, edges 2 and 4 once.
+		mp := mkProfile([]int{0, 3}, mkTuple(0, 2), mkTuple(0, 4))
+		if err := CheckKMatchingConfiguration(gm, mp); !errors.Is(err, ErrNotKMatching) {
+			t.Errorf("err = %v, want ErrNotKMatching", err)
+		}
+	})
+
+	t.Run("valid configuration passes", func(t *testing.T) {
+		// C6 alternating: IS = {0,2,4}, cyclic 2-windows over (0,1),(2,3),(4,5).
+		mp := mkProfile([]int{0, 2, 4}, mkTuple(0, 2), mkTuple(2, 4), mkTuple(0, 4))
+		if err := CheckKMatchingConfiguration(gm, mp); err != nil {
+			t.Errorf("valid configuration rejected: %v", err)
+		}
+	})
+}
+
+func TestBuildKMatchingNEDirect(t *testing.T) {
+	// Hand-rolled supports on C6, bypassing Algorithm A.
+	g := graph.Cycle(6)
+	tuples, err := CyclicTuples(g, []int{0, 2, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, err := BuildKMatchingNE(g, 5, 2, []int{0, 2, 4}, tuples)
+	if err != nil {
+		t.Fatalf("BuildKMatchingNE: %v", err)
+	}
+	if err := VerifyNE(ne.Game, ne.Profile); err != nil {
+		t.Fatalf("not a NE: %v", err)
+	}
+	if len(ne.Tuples) != 3 {
+		t.Errorf("|D(tp)| = %d, want 3", len(ne.Tuples))
+	}
+}
+
+func TestBuildKMatchingNERejectsNonCover(t *testing.T) {
+	// Edge support {(0,1),(2,3)} leaves 4,5 uncovered on C6: condition 1 of
+	// Theorem 3.4 fails.
+	g := graph.Cycle(6)
+	tuples, err := CyclicTuples(g, []int{0, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildKMatchingNE(g, 2, 2, []int{0, 2}, tuples); !errors.Is(err, ErrNotKMatching) {
+		t.Errorf("err = %v, want ErrNotKMatching", err)
+	}
+}
+
+func TestBuildKMatchingNERejectsBadGame(t *testing.T) {
+	g := graph.Cycle(6)
+	tuples, err := CyclicTuples(g, []int{0, 2, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildKMatchingNE(g, 0, 2, []int{0, 2, 4}, tuples); !errors.Is(err, game.ErrBadAttackers) {
+		t.Errorf("err = %v, want ErrBadAttackers", err)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"github.com/defender-game/defender/internal/graph"
+)
+
+func TestLiftAndReduceRoundTrip(t *testing.T) {
+	// Theorem 4.5 in both directions, with supports preserved.
+	for name, g := range bipartiteFamilies(t) {
+		t.Run(name, func(t *testing.T) {
+			edgeNE, err := SolveEdgeModel(g, 5)
+			if err != nil {
+				t.Fatalf("edge model: %v", err)
+			}
+			maxK := len(edgeNE.EdgeSupport)
+			if maxK > 5 {
+				maxK = 5
+			}
+			for k := 1; k <= maxK; k++ {
+				lifted, err := LiftToTupleModel(edgeNE, k)
+				if err != nil {
+					t.Fatalf("lift k=%d: %v", k, err)
+				}
+				if err := VerifyNE(lifted.Game, lifted.Profile); err != nil {
+					t.Fatalf("lift k=%d not NE: %v", k, err)
+				}
+				back, err := ReduceToEdgeModel(lifted)
+				if err != nil {
+					t.Fatalf("reduce k=%d: %v", k, err)
+				}
+				if err := VerifyNE(back.Game, back.Profile); err != nil {
+					t.Fatalf("reduced profile not NE: %v", err)
+				}
+				// Supports survive the round trip.
+				if !graph.SetsEqual(back.VPSupport, edgeNE.VPSupport) {
+					t.Errorf("k=%d: VP support changed: %v -> %v", k, edgeNE.VPSupport, back.VPSupport)
+				}
+				if len(back.EdgeSupport) != len(edgeNE.EdgeSupport) {
+					t.Errorf("k=%d: edge support size changed", k)
+				}
+				// Corollaries 4.7/4.10: gain ratio is exactly k.
+				want := new(big.Rat).Mul(edgeNE.DefenderGain(), big.NewRat(int64(k), 1))
+				if got := lifted.DefenderGain(); got.Cmp(want) != 0 {
+					t.Errorf("k=%d: lifted gain %v, want %v", k, got, want)
+				}
+				if got := back.DefenderGain(); got.Cmp(edgeNE.DefenderGain()) != 0 {
+					t.Errorf("k=%d: reduced gain %v, want %v", k, got, edgeNE.DefenderGain())
+				}
+			}
+		})
+	}
+}
+
+func TestLiftRejectsBadK(t *testing.T) {
+	ne, err := SolveEdgeModel(graph.Cycle(6), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LiftToTupleModel(ne, 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if _, err := LiftToTupleModel(ne, len(ne.EdgeSupport)+1); err == nil {
+		t.Error("k beyond support must fail")
+	}
+}
+
+func TestReduceRejectsMalformedEquilibrium(t *testing.T) {
+	// Build a genuine equilibrium and corrupt its support records.
+	ne, err := SolveTupleModel(graph.Grid(3, 3), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := ne
+	corrupt.VPSupport = []int{0} // wrong support breaks the uniform profile
+	if _, err := ReduceToEdgeModel(corrupt); err == nil {
+		t.Error("corrupted support must be rejected")
+	}
+}
+
+func TestLiftPreservesLabelingOrder(t *testing.T) {
+	ne, err := SolveEdgeModel(graph.Cycle(8), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifted, err := LiftToTupleModel(ne, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lifted.EdgeSupport) != len(ne.EdgeSupport) {
+		t.Fatalf("edge support sizes differ")
+	}
+	for i := range ne.EdgeSupport {
+		if lifted.EdgeSupport[i] != ne.EdgeSupport[i] {
+			t.Fatalf("labeling order changed at %d: %v vs %v", i, lifted.EdgeSupport[i], ne.EdgeSupport[i])
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/big"
+
+	"github.com/defender-game/defender/internal/game"
+)
+
+// Regret quantifies how far a profile is from equilibrium, per player:
+// each attacker's regret is the profit gain of relocating to a least-hit
+// vertex, the defender's regret is the gain of switching to a maximum-load
+// tuple. A profile is a mixed Nash equilibrium iff every regret is zero,
+// so Regret is the quantitative refinement of VerifyNE — `defender check`
+// prints it for rejected profiles, and ε-equilibrium analyses can bound it.
+type Regret struct {
+	// Attacker[i] = max_v IP_i(s_-i, v) − IP_i(s): always >= 0.
+	Attacker []*big.Rat
+	// Defender = max_t IP_tp(s_-tp, t) − IP_tp(s): always >= 0.
+	Defender *big.Rat
+}
+
+// MaxAttacker returns the largest attacker regret.
+func (r Regret) MaxAttacker() *big.Rat {
+	max := new(big.Rat)
+	for _, a := range r.Attacker {
+		if a.Cmp(max) > 0 {
+			max = a
+		}
+	}
+	return new(big.Rat).Set(max)
+}
+
+// IsEquilibrium reports whether every regret vanishes.
+func (r Regret) IsEquilibrium() bool {
+	if r.Defender.Sign() != 0 {
+		return false
+	}
+	for _, a := range r.Attacker {
+		if a.Sign() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ComputeRegret evaluates the exact deviation incentives of every player.
+// It shares MaxTupleLoad's exactness envelope (ErrCannotVerify when the
+// defender's best response is out of reach).
+func ComputeRegret(gm *game.Game, mp game.MixedProfile) (Regret, error) {
+	if err := gm.Validate(mp); err != nil {
+		return Regret{}, err
+	}
+	hit := gm.HitProbabilities(mp)
+	minHit := new(big.Rat).Set(hit[0])
+	for _, h := range hit[1:] {
+		if h.Cmp(minHit) < 0 {
+			minHit.Set(h)
+		}
+	}
+	one := big.NewRat(1, 1)
+	bestVP := new(big.Rat).Sub(one, minHit)
+
+	reg := Regret{Attacker: make([]*big.Rat, gm.Attackers())}
+	for i := range mp.VP {
+		current := gm.ExpectedProfitVP(mp, i)
+		r := new(big.Rat).Sub(bestVP, current)
+		if r.Sign() < 0 {
+			r.SetInt64(0) // numerically impossible; guard regardless
+		}
+		reg.Attacker[i] = r
+	}
+
+	loads := gm.VertexLoads(mp)
+	maxLoad, _, err := MaxTupleLoad(gm.Graph(), gm.K(), loads)
+	if err != nil {
+		return Regret{}, err
+	}
+	current := gm.ExpectedProfitTP(mp)
+	reg.Defender = new(big.Rat).Sub(maxLoad, current)
+	if reg.Defender.Sign() < 0 {
+		reg.Defender.SetInt64(0)
+	}
+	return reg, nil
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"github.com/defender-game/defender/internal/game"
+	"github.com/defender-game/defender/internal/graph"
+)
+
+func TestRegretZeroAtEquilibrium(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		ne, err := SolveTupleModel(graph.Grid(3, 4), 4, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		reg, err := ComputeRegret(ne.Game, ne.Profile)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !reg.IsEquilibrium() {
+			t.Errorf("k=%d: nonzero regret at equilibrium: attacker %v defender %v",
+				k, reg.MaxAttacker(), reg.Defender)
+		}
+	}
+}
+
+func TestRegretPositiveOffEquilibrium(t *testing.T) {
+	// Attacker parked on a covered vertex of P4, defender on the wrong edge.
+	g := graph.Path(4)
+	gm, err := game.New(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := game.NewTupleFromIDs(g, []int{0}) // covers {0,1}
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := game.UniformTupleStrategy([]game.Tuple{tp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := game.NewSymmetricProfile(1, game.UniformVertexStrategy([]int{0}), ts)
+	reg, err := ComputeRegret(gm, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.IsEquilibrium() {
+		t.Fatal("off-equilibrium profile reported zero regret")
+	}
+	// Attacker: caught for sure, could escape for sure -> regret 1.
+	if reg.Attacker[0].Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("attacker regret = %v, want 1", reg.Attacker[0])
+	}
+	// Defender: catching 1 already, the best tuple also catches 1 -> 0.
+	if reg.Defender.Sign() != 0 {
+		t.Errorf("defender regret = %v, want 0", reg.Defender)
+	}
+	if reg.MaxAttacker().Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("max attacker regret = %v", reg.MaxAttacker())
+	}
+}
+
+func TestRegretDefenderSide(t *testing.T) {
+	// Attacker hides on vertex 3 of P4; defender scans edge (0,1): regret
+	// is a full point (move to edge (2,3)).
+	g := graph.Path(4)
+	gm, err := game.New(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := game.NewTupleFromIDs(g, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := game.UniformTupleStrategy([]game.Tuple{tp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := game.NewSymmetricProfile(2, game.UniformVertexStrategy([]int{3}), ts)
+	reg, err := ComputeRegret(gm, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Defender.Cmp(big.NewRat(2, 1)) != 0 {
+		t.Errorf("defender regret = %v, want 2 (both attackers catchable)", reg.Defender)
+	}
+	// The hiding attackers have zero regret: they already escape for sure.
+	if reg.MaxAttacker().Sign() != 0 {
+		t.Errorf("attacker regret = %v, want 0", reg.MaxAttacker())
+	}
+}
+
+func TestRegretAgreesWithVerify(t *testing.T) {
+	// VerifyNE and Regret.IsEquilibrium must agree on both outcomes.
+	ne, err := SolveTupleModel(graph.Cycle(8), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := ComputeRegret(ne.Game, ne.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (VerifyNE(ne.Game, ne.Profile) == nil) != reg.IsEquilibrium() {
+		t.Error("VerifyNE and regret disagree on the equilibrium")
+	}
+	tampered := perturbVertexStrategy(ne.Game, ne.Profile, ne.VPSupport[0], (ne.VPSupport[0]+1)%8, big.NewRat(1, 8))
+	if err := ne.Game.Validate(tampered); err != nil {
+		t.Fatal(err)
+	}
+	regT, err := ComputeRegret(ne.Game, tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (VerifyNE(ne.Game, tampered) == nil) != regT.IsEquilibrium() {
+		t.Error("VerifyNE and regret disagree on the tampered profile")
+	}
+}

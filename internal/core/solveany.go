@@ -1,0 +1,126 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"github.com/defender-game/defender/internal/cover"
+	"github.com/defender-game/defender/internal/game"
+	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/lp"
+)
+
+// SolveAny computes SOME mixed Nash equilibrium of Π_k(G) for any graph,
+// trying the structural families first and falling back to the LP minimax
+// equilibrium:
+//
+//  1. k-matching (Algorithm A_tuple) — polynomial, any instance size, on
+//     graphs admitting the Cor 4.11 partition;
+//  2. perfect-matching — graphs with a perfect matching, k <= n/2;
+//  3. regular-graph profile at k = 1;
+//  4. the exact LP minimax pair of the ν = 1 constant-sum game, lifted to
+//     ν symmetric attackers.
+//
+// The lift in step 4 is sound because both payoffs scale linearly in the
+// attacker population: with every attacker playing the minimax mixture x,
+// each tuple's expected load is ν times its ν=1 load (so the defender's
+// minimax σ stays a best response), and the defender's coverage is
+// unchanged (so x stays a best response for each attacker). Step 4 is
+// limited to enumerable tuple spaces (ErrValueTooLarge beyond).
+//
+// The returned family is one of "k-matching", "perfect-matching",
+// "regular", "lp-minimax". Every returned profile passes the exact
+// verifier (asserted by the tests).
+func SolveAny(g *graph.Graph, attackers, k int) (TupleEquilibrium, string, error) {
+	if ne, err := SolveTupleModel(g, attackers, k); err == nil {
+		return ne, "k-matching", nil
+	} else if !errors.Is(err, ErrNoMatchingNE) && !errors.Is(err, ErrKTooLarge) &&
+		!errors.Is(err, cover.ErrPartitionNotFound) && !errors.Is(err, cover.ErrTooLarge) {
+		return TupleEquilibrium{}, "", err
+	}
+	if ne, err := PerfectMatchingNE(g, attackers, k); err == nil {
+		return ne, "perfect-matching", nil
+	} else if !errors.Is(err, ErrNoPerfectMatching) && !errors.Is(err, ErrKTooLarge) {
+		return TupleEquilibrium{}, "", err
+	}
+	if k == 1 {
+		if regular, _ := g.IsRegular(); regular {
+			edgeNE, err := RegularGraphEdgeNE(g, attackers)
+			if err != nil {
+				return TupleEquilibrium{}, "", err
+			}
+			return TupleEquilibrium{
+				Game:        edgeNE.Game,
+				Profile:     edgeNE.Profile,
+				VPSupport:   edgeNE.VPSupport,
+				EdgeSupport: edgeNE.EdgeSupport,
+				Tuples:      edgeNE.Profile.TP.Support(),
+			}, "regular", nil
+		}
+	}
+	ne, err := lpMinimaxNE(g, attackers, k)
+	if err != nil {
+		return TupleEquilibrium{}, "", err
+	}
+	return ne, "lp-minimax", nil
+}
+
+// lpMinimaxNE builds the symmetric lift of the ν = 1 minimax pair.
+func lpMinimaxNE(g *graph.Graph, attackers, k int) (TupleEquilibrium, error) {
+	gm, err := game.New(g, attackers, k)
+	if err != nil {
+		return TupleEquilibrium{}, err
+	}
+	if !combinationsWithin(g.NumEdges(), k, valueTupleLimit) {
+		return TupleEquilibrium{}, fmt.Errorf("%w: C(%d,%d)", ErrValueTooLarge, g.NumEdges(), k)
+	}
+	tuples := enumerateTuples(g, k)
+	zero := new(big.Rat)
+	one := big.NewRat(1, 1)
+	payoff := make([][]*big.Rat, len(tuples))
+	for i, t := range tuples {
+		row := make([]*big.Rat, g.NumVertices())
+		covered := make([]bool, g.NumVertices())
+		for _, v := range t.Vertices(g) {
+			covered[v] = true
+		}
+		for v := range row {
+			if covered[v] {
+				row[v] = one
+			} else {
+				row[v] = zero
+			}
+		}
+		payoff[i] = row
+	}
+	gs, err := lp.SolveZeroSum(payoff)
+	if err != nil {
+		return TupleEquilibrium{}, fmt.Errorf("core: lp minimax NE: %w", err)
+	}
+	ts, err := game.NewTupleStrategy(tuples, gs.Row)
+	if err != nil {
+		return TupleEquilibrium{}, err
+	}
+	probs := make(map[int]*big.Rat, len(gs.Col))
+	for v, p := range gs.Col {
+		probs[v] = p
+	}
+	vs := game.NewVertexStrategy(probs)
+	profile := game.NewSymmetricProfile(attackers, vs, ts)
+	if err := gm.Validate(profile); err != nil {
+		return TupleEquilibrium{}, err
+	}
+	edgeIDs := profile.TP.SupportEdges()
+	edges := make([]graph.Edge, len(edgeIDs))
+	for i, id := range edgeIDs {
+		edges[i] = g.EdgeByID(id)
+	}
+	return TupleEquilibrium{
+		Game:        gm,
+		Profile:     profile,
+		VPSupport:   profile.SupportUnionVP(),
+		EdgeSupport: edges,
+		Tuples:      profile.TP.Support(),
+	}, nil
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"github.com/defender-game/defender/internal/game"
+	"github.com/defender-game/defender/internal/graph"
+)
+
+func TestPerfectMatchingNEFamilies(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"K2", graph.Path(2)},
+		{"C6", graph.Cycle(6)},
+		{"C8", graph.Cycle(8)},
+		{"K4", graph.Complete(4)},
+		{"K6", graph.Complete(6)},
+		{"petersen", graph.Petersen()},
+		{"hypercube3", graph.Hypercube(3)},
+		{"grid44", graph.Grid(4, 4)},
+		{"disjoint edges", graph.PerfectMatchingGraph(8)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			maxK := tt.g.NumVertices() / 2
+			if maxK > 4 {
+				maxK = 4
+			}
+			for k := 1; k <= maxK; k++ {
+				ne, err := PerfectMatchingNE(tt.g, 3, k)
+				if err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				if err := VerifyNE(ne.Game, ne.Profile); err != nil {
+					t.Fatalf("k=%d: not a NE: %v", k, err)
+				}
+				// Gain 2kν/n, linear in k (the extension's analogue of the
+				// headline result).
+				want := big.NewRat(2*int64(k)*3, int64(tt.g.NumVertices()))
+				if got := ne.DefenderGain(); got.Cmp(want) != 0 {
+					t.Errorf("k=%d: gain %v, want %v", k, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestPerfectMatchingNEErrors(t *testing.T) {
+	// Odd vertex count: no perfect matching.
+	if _, err := PerfectMatchingNE(graph.Cycle(5), 1, 1); !errors.Is(err, ErrNoPerfectMatching) {
+		t.Errorf("C5: err = %v, want ErrNoPerfectMatching", err)
+	}
+	// Star K_{1,3}: even count, no perfect matching.
+	if _, err := PerfectMatchingNE(graph.Star(4), 1, 1); !errors.Is(err, ErrNoPerfectMatching) {
+		t.Errorf("star: err = %v, want ErrNoPerfectMatching", err)
+	}
+	// k beyond |M|.
+	if _, err := PerfectMatchingNE(graph.Cycle(6), 1, 4); !errors.Is(err, ErrKTooLarge) {
+		t.Errorf("k=4 on C6: err = %v, want ErrKTooLarge", err)
+	}
+}
+
+func TestRegularGraphEdgeNE(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"C5", graph.Cycle(5)},
+		{"C7", graph.Cycle(7)},
+		{"K5", graph.Complete(5)},
+		{"petersen", graph.Petersen()},
+		{"hypercube3", graph.Hypercube(3)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ne, err := RegularGraphEdgeNE(tt.g, 4)
+			if err != nil {
+				t.Fatalf("RegularGraphEdgeNE: %v", err)
+			}
+			if err := VerifyNE(ne.Game, ne.Profile); err != nil {
+				t.Fatalf("not a NE: %v", err)
+			}
+			// Gain = 2ν/n for regular graphs.
+			want := big.NewRat(2*4, int64(tt.g.NumVertices()))
+			if got := ne.DefenderGain(); got.Cmp(want) != 0 {
+				t.Errorf("gain = %v, want %v", got, want)
+			}
+		})
+	}
+	if _, err := RegularGraphEdgeNE(graph.Path(4), 1); !errors.Is(err, ErrNotRegular) {
+		t.Errorf("path: err = %v, want ErrNotRegular", err)
+	}
+}
+
+// TestNaiveRegularLiftFails documents why RegularGraphEdgeNE does not lift
+// to Π_k via cyclic tuples: on C5 with k=2, consecutive windows contain
+// adjacent edges covering only 3 vertices while disjoint pairs cover 4.
+func TestNaiveRegularLiftFails(t *testing.T) {
+	g := graph.Cycle(5)
+	gm, err := game.New(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, g.NumEdges())
+	for i := range ids {
+		ids[i] = i
+	}
+	tuples, err := CyclicTuples(g, ids, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allV := []int{0, 1, 2, 3, 4}
+	ts, err := game.UniformTupleStrategy(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := game.NewSymmetricProfile(2, game.UniformVertexStrategy(allV), ts)
+	if err := VerifyNE(gm, mp); !errors.Is(err, ErrNotEquilibrium) {
+		t.Errorf("naive lift should fail verification, got %v", err)
+	}
+}
+
+// TestPerfectMatchingVsKMatchingGain compares the two families where both
+// exist: on C6, |IS| = 3 = n/2, so the k-matching gain kν/3 equals the
+// perfect-matching gain 2kν/6 — the families tie exactly at |IS| = n/2.
+func TestPerfectMatchingVsKMatchingGain(t *testing.T) {
+	g := graph.Cycle(6)
+	km, err := SolveTupleModel(g, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := PerfectMatchingNE(g, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.DefenderGain().Cmp(pm.DefenderGain()) != 0 {
+		t.Errorf("C6 gains should tie: k-matching %v vs perfect-matching %v",
+			km.DefenderGain(), pm.DefenderGain())
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"github.com/defender-game/defender/internal/game"
+	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/lp"
+)
+
+// For a single attacker (ν = 1) the Tuple model is a constant-sum game:
+// IP_tp + IP_vp = 1 in every outcome. All Nash equilibria of a constant-sum
+// game attain the same value, so the minimax value — computable by linear
+// programming from the payoff matrix alone — is an *independent oracle* for
+// every equilibrium construction in this package: a k-matching equilibrium
+// predicts value k/|E(D(tp))|, a perfect-matching equilibrium 2k/n, a
+// regular-graph equilibrium d/m, and the LP must agree exactly.
+
+// ErrValueTooLarge is returned when the defender's pure-strategy space
+// C(m, k) exceeds the enumeration budget of the LP oracle.
+var ErrValueTooLarge = errors.New("core: tuple space too large for the LP value oracle")
+
+// valueTupleLimit caps the number of tuple columns the oracle enumerates.
+const valueTupleLimit = 20_000
+
+// GameValue computes the exact minimax value of Π_k(G) with a single
+// attacker: the probability that the defender catches the attacker when
+// both play optimally. It enumerates all C(m, k) defender tuples as
+// matrix-game rows and solves the resulting zero-sum game by exact LP —
+// deliberately structure-free, so it can certify (or refute) the
+// structured equilibrium constructions. Along with the value it returns
+// the defender's optimal mixed strategy over tuples.
+func GameValue(g *graph.Graph, k int) (*big.Rat, []game.Tuple, []*big.Rat, error) {
+	if g.NumVertices() == 0 {
+		return nil, nil, nil, fmt.Errorf("core: game value: empty graph")
+	}
+	if g.HasIsolatedVertex() {
+		return nil, nil, nil, game.ErrIsolatedVertex
+	}
+	if k < 1 || k > g.NumEdges() {
+		return nil, nil, nil, fmt.Errorf("%w: k=%d, m=%d", game.ErrBadK, k, g.NumEdges())
+	}
+	if !combinationsWithin(g.NumEdges(), k, valueTupleLimit) {
+		return nil, nil, nil, fmt.Errorf("%w: C(%d,%d)", ErrValueTooLarge, g.NumEdges(), k)
+	}
+	tuples := enumerateTuples(g, k)
+
+	// Payoff to the defender (row player, maximizer): 1 if the tuple
+	// covers the attacker's vertex.
+	zero := new(big.Rat)
+	one := big.NewRat(1, 1)
+	payoff := make([][]*big.Rat, len(tuples))
+	for i, t := range tuples {
+		row := make([]*big.Rat, g.NumVertices())
+		covered := make([]bool, g.NumVertices())
+		for _, v := range t.Vertices(g) {
+			covered[v] = true
+		}
+		for v := range row {
+			if covered[v] {
+				row[v] = one
+			} else {
+				row[v] = zero
+			}
+		}
+		payoff[i] = row
+	}
+	gs, err := lp.SolveZeroSum(payoff)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: game value: %w", err)
+	}
+	return gs.Value, tuples, gs.Row, nil
+}
+
+// enumerateTuples lists every k-subset of g's edges as a Tuple, in
+// lexicographic edge-index order.
+func enumerateTuples(g *graph.Graph, k int) []game.Tuple {
+	var out []game.Tuple
+	ids := make([]int, k)
+	var rec func(pos, next int)
+	rec = func(pos, next int) {
+		if pos == k {
+			t, err := game.NewTupleFromIDs(g, ids)
+			if err != nil {
+				// ids are distinct ascending edge indices by construction.
+				panic(fmt.Sprintf("core: enumerate tuples: %v", err))
+			}
+			out = append(out, t)
+			return
+		}
+		for id := next; id <= g.NumEdges()-(k-pos); id++ {
+			ids[pos] = id
+			rec(pos+1, id+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// DefenderStrategyFromValue assembles the LP oracle's optimal defender
+// strategy into a validated game.TupleStrategy (dropping zero-probability
+// tuples).
+func DefenderStrategyFromValue(g *graph.Graph, k int) (*big.Rat, game.TupleStrategy, error) {
+	value, tuples, probs, err := GameValue(g, k)
+	if err != nil {
+		return nil, game.TupleStrategy{}, err
+	}
+	ts, err := game.NewTupleStrategy(tuples, probs)
+	if err != nil {
+		return nil, game.TupleStrategy{}, err
+	}
+	return value, ts, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"github.com/defender-game/defender/internal/game"
+	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/lp"
+)
+
+// Weighted targets: a practical extension beyond the paper. Hosts carry
+// nonnegative values w(v) (database servers are worth more than printers);
+// an attacker at v deals damage w(v) if it escapes. The defender's optimal
+// randomized k-tuple defense minimizes the worst-case expected damage
+//
+//	min_σ max_v  w(v) · (1 − P_σ(Hit(v))),
+//
+// the minimax of the zero-sum damage game — solved exactly by the LP
+// oracle over all C(m,k) tuples. With uniform weights this reduces to
+// 1 − GameValue (asserted by the tests); with skewed weights the optimal
+// defense concentrates on valuable assets, a behavior no uniform
+// equilibrium exhibits.
+
+// WeightedDamageValue computes the exact minimax damage and the defender
+// strategy attaining it. weights must be nonnegative with length n.
+// Shares GameValue's C(m,k) enumeration limit (ErrValueTooLarge).
+func WeightedDamageValue(g *graph.Graph, k int, weights []*big.Rat) (*big.Rat, game.TupleStrategy, error) {
+	if g.NumVertices() == 0 {
+		return nil, game.TupleStrategy{}, fmt.Errorf("core: weighted damage: empty graph")
+	}
+	if g.HasIsolatedVertex() {
+		return nil, game.TupleStrategy{}, game.ErrIsolatedVertex
+	}
+	if k < 1 || k > g.NumEdges() {
+		return nil, game.TupleStrategy{}, fmt.Errorf("%w: k=%d, m=%d", game.ErrBadK, k, g.NumEdges())
+	}
+	if len(weights) != g.NumVertices() {
+		return nil, game.TupleStrategy{}, fmt.Errorf("core: weighted damage: %d weights for %d vertices",
+			len(weights), g.NumVertices())
+	}
+	for v, w := range weights {
+		if w == nil || w.Sign() < 0 {
+			return nil, game.TupleStrategy{}, fmt.Errorf("core: weighted damage: invalid weight for vertex %d", v)
+		}
+	}
+	if !combinationsWithin(g.NumEdges(), k, valueTupleLimit) {
+		return nil, game.TupleStrategy{}, fmt.Errorf("%w: C(%d,%d)", ErrValueTooLarge, g.NumEdges(), k)
+	}
+	tuples := enumerateTuples(g, k)
+
+	// Rows = attacker vertices (maximizer of damage), columns = defender
+	// tuples: payoff w(v) when the tuple misses v, else 0.
+	zero := new(big.Rat)
+	payoff := make([][]*big.Rat, g.NumVertices())
+	for v := range payoff {
+		payoff[v] = make([]*big.Rat, len(tuples))
+	}
+	for j, t := range tuples {
+		covered := make([]bool, g.NumVertices())
+		for _, v := range t.Vertices(g) {
+			covered[v] = true
+		}
+		for v := range payoff {
+			if covered[v] {
+				payoff[v][j] = zero
+			} else {
+				payoff[v][j] = weights[v]
+			}
+		}
+	}
+	gs, err := lp.SolveZeroSum(payoff)
+	if err != nil {
+		return nil, game.TupleStrategy{}, fmt.Errorf("core: weighted damage: %w", err)
+	}
+	ts, err := game.NewTupleStrategy(tuples, gs.Col)
+	if err != nil {
+		return nil, game.TupleStrategy{}, err
+	}
+	return gs.Value, ts, nil
+}

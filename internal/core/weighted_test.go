@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"github.com/defender-game/defender/internal/game"
+	"github.com/defender-game/defender/internal/graph"
+)
+
+func uniformWeights(n int) []*big.Rat {
+	w := make([]*big.Rat, n)
+	for i := range w {
+		w[i] = big.NewRat(1, 1)
+	}
+	return w
+}
+
+// TestWeightedDamageUniformReducesToGameValue: with w ≡ 1 the minimax
+// damage is exactly 1 − GameValue.
+func TestWeightedDamageUniformReducesToGameValue(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}{
+		{"C5 k1", graph.Cycle(5), 1},
+		{"C6 k2", graph.Cycle(6), 2},
+		{"star5 k1", graph.Star(5), 1},
+		{"grid23 k2", graph.Grid(2, 3), 2},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			damage, _, err := WeightedDamageValue(tt.g, tt.k, uniformWeights(tt.g.NumVertices()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			value, _, _, err := GameValue(tt.g, tt.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := new(big.Rat).Sub(big.NewRat(1, 1), value)
+			if damage.Cmp(want) != 0 {
+				t.Errorf("damage = %v, want 1 − value = %v", damage, want)
+			}
+		})
+	}
+}
+
+// TestWeightedDamageConcentratesOnValue: on a star whose hub is worthless
+// and one leaf precious, the optimal defense keeps the precious leaf's
+// edge almost surely covered.
+func TestWeightedDamageConcentratesOnValue(t *testing.T) {
+	g := graph.Star(5) // hub 0, leaves 1..4
+	w := make([]*big.Rat, 5)
+	w[0] = new(big.Rat)
+	w[1] = big.NewRat(100, 1)
+	for v := 2; v <= 4; v++ {
+		w[v] = big.NewRat(1, 1)
+	}
+	damage, ts, err := WeightedDamageValue(g, 1, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one scanned edge the defender cannot cover every leaf; damage
+	// is positive but far below 100 (the precious leaf is protected).
+	if damage.Sign() <= 0 {
+		t.Fatalf("damage = %v, want positive", damage)
+	}
+	if damage.Cmp(big.NewRat(3, 1)) > 0 {
+		t.Fatalf("damage = %v, want small (precious leaf prioritized)", damage)
+	}
+	// The precious leaf's edge carries most of the defense probability.
+	preciousEdge, err := game.NewTuple(g, []graph.Edge{graph.NewEdge(0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ts.Prob(preciousEdge)
+	if p.Cmp(big.NewRat(9, 10)) < 0 {
+		t.Errorf("precious edge probability = %v, want >= 9/10", p)
+	}
+}
+
+// TestWeightedDamageMonotoneInK: more defender power can only reduce the
+// worst-case damage.
+func TestWeightedDamageMonotoneInK(t *testing.T) {
+	g := graph.Cycle(6)
+	w := []*big.Rat{
+		big.NewRat(5, 1), big.NewRat(1, 1), big.NewRat(3, 1),
+		big.NewRat(1, 2), big.NewRat(2, 1), big.NewRat(1, 1),
+	}
+	prev := new(big.Rat).SetInt64(1 << 30)
+	for k := 1; k <= 3; k++ {
+		damage, _, err := WeightedDamageValue(g, k, w)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if damage.Cmp(prev) > 0 {
+			t.Errorf("damage increased at k=%d: %v > %v", k, damage, prev)
+		}
+		prev = damage
+	}
+	// At k = ρ(G) = 3, an edge cover exists: damage must be zero.
+	if prev.Sign() != 0 {
+		t.Errorf("damage at k=rho is %v, want 0", prev)
+	}
+}
+
+func TestWeightedDamageValidation(t *testing.T) {
+	g := graph.Cycle(4)
+	if _, _, err := WeightedDamageValue(graph.New(0), 1, nil); err == nil {
+		t.Error("empty graph must fail")
+	}
+	if _, _, err := WeightedDamageValue(g, 0, uniformWeights(4)); !errors.Is(err, game.ErrBadK) {
+		t.Errorf("k=0: err = %v", err)
+	}
+	if _, _, err := WeightedDamageValue(g, 1, uniformWeights(3)); err == nil {
+		t.Error("weight arity mismatch must fail")
+	}
+	bad := uniformWeights(4)
+	bad[2] = big.NewRat(-1, 1)
+	if _, _, err := WeightedDamageValue(g, 1, bad); err == nil {
+		t.Error("negative weight must fail")
+	}
+	bad[2] = nil
+	if _, _, err := WeightedDamageValue(g, 1, bad); err == nil {
+		t.Error("nil weight must fail")
+	}
+	if _, _, err := WeightedDamageValue(graph.Complete(30), 6, uniformWeights(30)); !errors.Is(err, ErrValueTooLarge) {
+		t.Errorf("oversized: err = %v", err)
+	}
+	iso := graph.New(3)
+	if err := iso.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := WeightedDamageValue(iso, 1, uniformWeights(3)); !errors.Is(err, game.ErrIsolatedVertex) {
+		t.Errorf("isolated: err = %v", err)
+	}
+}

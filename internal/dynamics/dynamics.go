@@ -1,0 +1,264 @@
+// Package dynamics implements decentralized learning dynamics for the Edge
+// model Π_1(G) with a single attacker — the constant-sum case. Neither
+// player needs to know the equilibrium theory: fictitious play and
+// multiplicative weights both converge to the minimax value, giving the
+// library a third, independent route (after the structural constructions
+// and the LP oracle) to the same number, and modelling how real attackers
+// and defenders could *reach* the equilibrium by repeated interaction.
+package dynamics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+
+	"github.com/defender-game/defender/internal/game"
+	"github.com/defender-game/defender/internal/graph"
+)
+
+// ErrBadRounds rejects non-positive round counts.
+var ErrBadRounds = errors.New("dynamics: rounds must be positive")
+
+// FPResult reports a fictitious-play run.
+type FPResult struct {
+	Rounds int
+	// LowerBound is the catch probability the defender's empirical mixture
+	// guarantees: min_v P_emp(Hit(v)). Exact rational.
+	LowerBound *big.Rat
+	// UpperBound is the cap the attacker's empirical mixture enforces:
+	// max_e (empirical mass on e's endpoints). Exact rational.
+	UpperBound *big.Rat
+	// AttackerCounts[v] is how often the attacker best-responded to v.
+	AttackerCounts []int
+	// DefenderCounts[e] is how often the defender best-responded with edge
+	// index e.
+	DefenderCounts []int
+}
+
+// Gap returns UpperBound − LowerBound; by Robinson's theorem it converges
+// to zero as rounds grow, squeezing the game value.
+func (r FPResult) Gap() *big.Rat {
+	return new(big.Rat).Sub(r.UpperBound, r.LowerBound)
+}
+
+// Brackets reports whether the exact game value lies within the computed
+// bounds — a sanity invariant tests assert against the LP oracle.
+func (r FPResult) Brackets(value *big.Rat) bool {
+	return r.LowerBound.Cmp(value) <= 0 && value.Cmp(r.UpperBound) <= 0
+}
+
+// FictitiousPlay runs simultaneous fictitious play on Π_1(G) with one
+// attacker: each round both players best-respond to the opponent's
+// empirical history (ties broken by lowest index, making the process
+// deterministic). All bookkeeping is integer-exact; the returned bounds
+// are exact rationals that bracket the minimax value at every horizon.
+func FictitiousPlay(g *graph.Graph, rounds int) (FPResult, error) {
+	if rounds <= 0 {
+		return FPResult{}, fmt.Errorf("%w: %d", ErrBadRounds, rounds)
+	}
+	if g.NumVertices() == 0 || g.NumEdges() == 0 {
+		return FPResult{}, errors.New("dynamics: graph has no edges")
+	}
+	if g.HasIsolatedVertex() {
+		return FPResult{}, game.ErrIsolatedVertex
+	}
+	n, m := g.NumVertices(), g.NumEdges()
+
+	attackerCounts := make([]int, n) // vertex play counts
+	defenderCounts := make([]int, m) // edge play counts
+	hitCount := make([]int, n)       // Σ_{e ∋ v} defenderCounts[e]
+
+	for t := 0; t < rounds; t++ {
+		// Attacker best response: least-hit vertex so far.
+		bestV := 0
+		for v := 1; v < n; v++ {
+			if hitCount[v] < hitCount[bestV] {
+				bestV = v
+			}
+		}
+		// Defender best response: edge with maximum attacker mass so far.
+		bestE, bestLoad := 0, -1
+		for e := 0; e < m; e++ {
+			edge := g.EdgeByID(e)
+			load := attackerCounts[edge.U] + attackerCounts[edge.V]
+			if load > bestLoad {
+				bestE, bestLoad = e, load
+			}
+		}
+		// Simultaneous update.
+		attackerCounts[bestV]++
+		defenderCounts[bestE]++
+		chosen := g.EdgeByID(bestE)
+		hitCount[chosen.U]++
+		hitCount[chosen.V]++
+	}
+
+	// Defender guarantee: min over vertices of empirical hit probability.
+	minHit := hitCount[0]
+	for _, h := range hitCount[1:] {
+		if h < minHit {
+			minHit = h
+		}
+	}
+	// Attacker cap: max over edges of empirical endpoint mass.
+	maxLoad := 0
+	for e := 0; e < m; e++ {
+		edge := g.EdgeByID(e)
+		if load := attackerCounts[edge.U] + attackerCounts[edge.V]; load > maxLoad {
+			maxLoad = load
+		}
+	}
+	return FPResult{
+		Rounds:         rounds,
+		LowerBound:     big.NewRat(int64(minHit), int64(rounds)),
+		UpperBound:     big.NewRat(int64(maxLoad), int64(rounds)),
+		AttackerCounts: attackerCounts,
+		DefenderCounts: defenderCounts,
+	}, nil
+}
+
+// MWResult reports a multiplicative-weights (Hedge) run.
+type MWResult struct {
+	Rounds int
+	// Value is the average-play estimate of the game value.
+	Value float64
+	// LowerBound / UpperBound bracket the value via the players' average
+	// mixed strategies (float arithmetic; width shrinks as O(sqrt(log/T))).
+	LowerBound float64
+	UpperBound float64
+	// AttackerAvg and DefenderAvg are the time-averaged mixed strategies.
+	AttackerAvg []float64
+	DefenderAvg []float64
+}
+
+// MultiplicativeWeights runs the Hedge algorithm for both players of
+// Π_1(G) with one attacker: the attacker maintains weights over vertices
+// (loss = caught), the defender over edges (loss = missed). The
+// time-averaged strategies converge to equilibrium at the no-regret rate
+// O(sqrt(ln N / T)). eta <= 0 selects the standard sqrt(8 ln N / T) step.
+func MultiplicativeWeights(g *graph.Graph, rounds int, eta float64) (MWResult, error) {
+	if rounds <= 0 {
+		return MWResult{}, fmt.Errorf("%w: %d", ErrBadRounds, rounds)
+	}
+	if g.NumVertices() == 0 || g.NumEdges() == 0 {
+		return MWResult{}, errors.New("dynamics: graph has no edges")
+	}
+	if g.HasIsolatedVertex() {
+		return MWResult{}, game.ErrIsolatedVertex
+	}
+	n, m := g.NumVertices(), g.NumEdges()
+	if eta <= 0 {
+		maxN := n
+		if m > maxN {
+			maxN = m
+		}
+		eta = math.Sqrt(8 * math.Log(float64(maxN)) / float64(rounds))
+	}
+
+	atkW := uniform(n)
+	defW := uniform(m)
+	atkAvg := make([]float64, n)
+	defAvg := make([]float64, m)
+
+	for t := 0; t < rounds; t++ {
+		atkP := normalize(atkW)
+		defP := normalize(defW)
+		for v := range atkAvg {
+			atkAvg[v] += atkP[v]
+		}
+		for e := range defAvg {
+			defAvg[e] += defP[e]
+		}
+		// Expected hit probability of each vertex under defP; expected
+		// attacker mass on each edge under atkP.
+		hit := make([]float64, n)
+		for e := 0; e < m; e++ {
+			edge := g.EdgeByID(e)
+			hit[edge.U] += defP[e]
+			hit[edge.V] += defP[e]
+		}
+		for v := 0; v < n; v++ {
+			// Attacker loss = probability of being caught at v.
+			atkW[v] *= math.Exp(-eta * hit[v])
+		}
+		for e := 0; e < m; e++ {
+			edge := g.EdgeByID(e)
+			catch := atkP[edge.U] + atkP[edge.V]
+			// Defender loss = probability of missing with edge e.
+			defW[e] *= math.Exp(-eta * (1 - catch))
+		}
+		rescale(atkW)
+		rescale(defW)
+	}
+	for v := range atkAvg {
+		atkAvg[v] /= float64(rounds)
+	}
+	for e := range defAvg {
+		defAvg[e] /= float64(rounds)
+	}
+
+	// Bounds from the average strategies.
+	hit := make([]float64, n)
+	for e := 0; e < m; e++ {
+		edge := g.EdgeByID(e)
+		hit[edge.U] += defAvg[e]
+		hit[edge.V] += defAvg[e]
+	}
+	lower := math.Inf(1)
+	for _, h := range hit {
+		lower = math.Min(lower, h)
+	}
+	upper := 0.0
+	for e := 0; e < m; e++ {
+		edge := g.EdgeByID(e)
+		upper = math.Max(upper, atkAvg[edge.U]+atkAvg[edge.V])
+	}
+	return MWResult{
+		Rounds:      rounds,
+		Value:       (lower + upper) / 2,
+		LowerBound:  lower,
+		UpperBound:  upper,
+		AttackerAvg: atkAvg,
+		DefenderAvg: defAvg,
+	}, nil
+}
+
+func uniform(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func normalize(w []float64) []float64 {
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	p := make([]float64, len(w))
+	for i, x := range w {
+		p[i] = x / sum
+	}
+	return p
+}
+
+// rescale guards against underflow on long runs by renormalizing the
+// weight vector to mean 1.
+func rescale(w []float64) {
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	if sum == 0 {
+		for i := range w {
+			w[i] = 1
+		}
+		return
+	}
+	mean := sum / float64(len(w))
+	for i := range w {
+		w[i] /= mean
+	}
+}

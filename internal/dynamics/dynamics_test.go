@@ -1,0 +1,200 @@
+package dynamics
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"github.com/defender-game/defender/internal/core"
+	"github.com/defender-game/defender/internal/game"
+	"github.com/defender-game/defender/internal/graph"
+)
+
+func gameValue(t *testing.T, g *graph.Graph) *big.Rat {
+	t.Helper()
+	value, _, _, err := core.GameValue(g, 1)
+	if err != nil {
+		t.Fatalf("LP oracle: %v", err)
+	}
+	return value
+}
+
+func TestFictitiousPlayBracketsValue(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"K2", graph.Path(2)},
+		{"path5", graph.Path(5)},
+		{"C5", graph.Cycle(5)},
+		{"C6", graph.Cycle(6)},
+		{"star5", graph.Star(5)},
+		{"K4", graph.Complete(4)},
+		{"petersen", graph.Petersen()},
+		{"grid23", graph.Grid(2, 3)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			value := gameValue(t, tt.g)
+			res, err := FictitiousPlay(tt.g, 4000)
+			if err != nil {
+				t.Fatalf("FictitiousPlay: %v", err)
+			}
+			if !res.Brackets(value) {
+				t.Fatalf("bounds [%v, %v] miss the value %v",
+					res.LowerBound, res.UpperBound, value)
+			}
+			// The bracket must be reasonably tight after 4000 rounds.
+			gap, _ := res.Gap().Float64()
+			if gap > 0.15 {
+				t.Errorf("gap %.4f too wide after %d rounds", gap, res.Rounds)
+			}
+		})
+	}
+}
+
+func TestFictitiousPlayGapShrinks(t *testing.T) {
+	g := graph.Cycle(5)
+	short, err := FictitiousPlay(g, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := FictitiousPlay(g, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, _ := short.Gap().Float64()
+	gl, _ := long.Gap().Float64()
+	if gl > gs {
+		t.Errorf("gap grew with rounds: %.4f -> %.4f", gs, gl)
+	}
+}
+
+func TestFictitiousPlayCountsConsistent(t *testing.T) {
+	g := graph.Grid(2, 3)
+	res, err := FictitiousPlay(g, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumA, sumD := 0, 0
+	for _, c := range res.AttackerCounts {
+		sumA += c
+	}
+	for _, c := range res.DefenderCounts {
+		sumD += c
+	}
+	if sumA != 500 || sumD != 500 {
+		t.Errorf("counts sum to (%d, %d), want 500 each", sumA, sumD)
+	}
+}
+
+func TestFictitiousPlayErrors(t *testing.T) {
+	if _, err := FictitiousPlay(graph.Path(3), 0); !errors.Is(err, ErrBadRounds) {
+		t.Errorf("rounds=0: err = %v", err)
+	}
+	if _, err := FictitiousPlay(graph.New(3), 10); err == nil {
+		t.Error("edgeless graph must fail")
+	}
+	iso := graph.New(3)
+	if err := iso.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FictitiousPlay(iso, 10); !errors.Is(err, game.ErrIsolatedVertex) {
+		t.Errorf("isolated: err = %v", err)
+	}
+}
+
+func TestMultiplicativeWeightsConverges(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"C5", graph.Cycle(5)},
+		{"C6", graph.Cycle(6)},
+		{"star5", graph.Star(5)},
+		{"K4", graph.Complete(4)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			value, _ := gameValue(t, tt.g).Float64()
+			res, err := MultiplicativeWeights(tt.g, 20000, 0)
+			if err != nil {
+				t.Fatalf("MW: %v", err)
+			}
+			if res.LowerBound > value+1e-9 || res.UpperBound < value-1e-9 {
+				t.Fatalf("bounds [%.5f, %.5f] miss the value %.5f",
+					res.LowerBound, res.UpperBound, value)
+			}
+			if res.UpperBound-res.LowerBound > 0.1 {
+				t.Errorf("gap %.4f too wide", res.UpperBound-res.LowerBound)
+			}
+			if diff := res.Value - value; diff > 0.06 || diff < -0.06 {
+				t.Errorf("value estimate %.5f vs exact %.5f", res.Value, value)
+			}
+		})
+	}
+}
+
+func TestMultiplicativeWeightsAveragesAreDistributions(t *testing.T) {
+	g := graph.Cycle(6)
+	res, err := MultiplicativeWeights(g, 1000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range res.AttackerAvg {
+		if p < 0 {
+			t.Fatal("negative attacker probability")
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("attacker average sums to %.6f", sum)
+	}
+	sum = 0.0
+	for _, p := range res.DefenderAvg {
+		if p < 0 {
+			t.Fatal("negative defender probability")
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("defender average sums to %.6f", sum)
+	}
+}
+
+func TestMultiplicativeWeightsErrors(t *testing.T) {
+	if _, err := MultiplicativeWeights(graph.Path(3), 0, 0); !errors.Is(err, ErrBadRounds) {
+		t.Errorf("rounds=0: err = %v", err)
+	}
+	if _, err := MultiplicativeWeights(graph.New(2), 10, 0); err == nil {
+		t.Error("edgeless graph must fail")
+	}
+}
+
+// TestDynamicsAgreeWithStructuralTheory: on a bipartite graph, both
+// dynamics must home in on the matching-equilibrium value 1/|EC|.
+func TestDynamicsAgreeWithStructuralTheory(t *testing.T) {
+	g := graph.CompleteBipartite(2, 4)
+	ne, err := core.SolveTupleModel(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ne.HitProbability() // 1/4
+
+	fp, err := FictitiousPlay(g, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fp.Brackets(want) {
+		t.Errorf("FP bounds [%v, %v] miss %v", fp.LowerBound, fp.UpperBound, want)
+	}
+	mw, err := MultiplicativeWeights(g, 20000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF, _ := want.Float64()
+	if mw.LowerBound > wantF+1e-9 || mw.UpperBound < wantF-1e-9 {
+		t.Errorf("MW bounds [%.5f, %.5f] miss %.5f", mw.LowerBound, mw.UpperBound, wantF)
+	}
+}

@@ -1,0 +1,124 @@
+package dynamics
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/defender-game/defender/internal/core"
+	"github.com/defender-game/defender/internal/graph"
+)
+
+func TestRegretMatchingConverges(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"C5", graph.Cycle(5)},
+		{"C6", graph.Cycle(6)},
+		{"star5", graph.Star(5)},
+		{"K4", graph.Complete(4)},
+		{"grid23", graph.Grid(2, 3)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			value, _ := gameValue(t, tt.g).Float64()
+			res, err := RegretMatching(tt.g, 60_000, 7)
+			if err != nil {
+				t.Fatalf("RegretMatching: %v", err)
+			}
+			// Randomized dynamics: the sampled empirical averages must
+			// bracket the value within sampling slack and close in on it.
+			const slack = 0.04
+			if res.LowerBound > value+slack || res.UpperBound < value-slack {
+				t.Fatalf("bounds [%.4f, %.4f] miss value %.4f",
+					res.LowerBound, res.UpperBound, value)
+			}
+			if math.Abs(res.Value-value) > 0.08 {
+				t.Errorf("estimate %.4f vs value %.4f", res.Value, value)
+			}
+		})
+	}
+}
+
+func TestRegretMatchingDeterministicSeed(t *testing.T) {
+	g := graph.Cycle(6)
+	a, err := RegretMatching(g, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RegretMatching(g, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value || a.LowerBound != b.LowerBound {
+		t.Error("same seed must reproduce")
+	}
+}
+
+func TestRegretMatchingAveragesAreDistributions(t *testing.T) {
+	g := graph.Star(6)
+	res, err := RegretMatching(g, 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range res.AttackerAvg {
+		if p < 0 {
+			t.Fatal("negative probability")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("attacker average sums to %v", sum)
+	}
+	sum = 0.0
+	for _, p := range res.DefenderAvg {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("defender average sums to %v", sum)
+	}
+}
+
+func TestRegretMatchingErrors(t *testing.T) {
+	if _, err := RegretMatching(graph.Cycle(4), 0, 1); !errors.Is(err, ErrBadRounds) {
+		t.Errorf("rounds=0: err = %v", err)
+	}
+	if _, err := RegretMatching(graph.New(2), 10, 1); err == nil {
+		t.Error("edgeless must fail")
+	}
+}
+
+// TestThreeLearnersAgree: FP, MW and RM all land on the same value — the
+// LP oracle's — on a graph with no k-matching equilibrium.
+func TestThreeLearnersAgree(t *testing.T) {
+	g := graph.Petersen()
+	value, _, _, err := core.GameValue(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valueF, _ := value.Float64() // 1/5
+
+	fp, err := FictitiousPlay(g, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fp.Brackets(value) {
+		t.Errorf("FP misses: [%v, %v]", fp.LowerBound, fp.UpperBound)
+	}
+	mw, err := MultiplicativeWeights(g, 15000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mw.Value-valueF) > 0.02 {
+		t.Errorf("MW estimate %.4f", mw.Value)
+	}
+	rm, err := RegretMatching(g, 60_000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rm.Value-valueF) > 0.08 {
+		t.Errorf("RM estimate %.4f", rm.Value)
+	}
+}

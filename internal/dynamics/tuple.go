@@ -1,0 +1,189 @@
+package dynamics
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"github.com/defender-game/defender/internal/game"
+	"github.com/defender-game/defender/internal/graph"
+)
+
+// FictitiousPlayTuple runs fictitious play on the full Tuple model Π_k(G)
+// with one attacker. The attacker best-responds with a least-hit vertex;
+// the defender best-responds with a k-edge tuple maximizing the coverage
+// of the attacker's empirical counts — an exact integer branch-and-bound
+// (the same maximization the equilibrium verifier performs, specialized to
+// integer loads for speed). Bounds are exact rationals bracketing the
+// k-power minimax value.
+//
+// Cost per round is the branch-and-bound search; keep graphs moderate
+// (tens of edges) and rounds in the low thousands.
+func FictitiousPlayTuple(g *graph.Graph, k, rounds int) (FPResult, error) {
+	if rounds <= 0 {
+		return FPResult{}, fmt.Errorf("%w: %d", ErrBadRounds, rounds)
+	}
+	if g.NumVertices() == 0 || g.NumEdges() == 0 {
+		return FPResult{}, errors.New("dynamics: graph has no edges")
+	}
+	if g.HasIsolatedVertex() {
+		return FPResult{}, game.ErrIsolatedVertex
+	}
+	if k < 1 || k > g.NumEdges() {
+		return FPResult{}, fmt.Errorf("%w: k=%d, m=%d", game.ErrBadK, k, g.NumEdges())
+	}
+	n := g.NumVertices()
+
+	attackerCounts := make([]int, n)
+	defenderCounts := make([]int, g.NumEdges()) // per-edge occurrence counts
+	hitCount := make([]int, n)
+
+	scratch := newIntCoverage(g, k)
+	for t := 0; t < rounds; t++ {
+		bestV := 0
+		for v := 1; v < n; v++ {
+			if hitCount[v] < hitCount[bestV] {
+				bestV = v
+			}
+		}
+		tuple := scratch.maxCoverage(attackerCounts)
+		attackerCounts[bestV]++
+		coveredOnce := make(map[int]bool, 2*k)
+		for _, id := range tuple {
+			defenderCounts[id]++
+			e := g.EdgeByID(id)
+			coveredOnce[e.U] = true
+			coveredOnce[e.V] = true
+		}
+		for v := range coveredOnce {
+			hitCount[v]++
+		}
+	}
+
+	minHit := hitCount[0]
+	for _, h := range hitCount[1:] {
+		if h < minHit {
+			minHit = h
+		}
+	}
+	// Attacker cap: the best coverage any tuple extracts from the final
+	// empirical attacker distribution.
+	bestTuple := scratch.maxCoverage(attackerCounts)
+	maxLoad := 0
+	seen := make(map[int]bool, 2*k)
+	for _, id := range bestTuple {
+		e := g.EdgeByID(id)
+		if !seen[e.U] {
+			seen[e.U] = true
+			maxLoad += attackerCounts[e.U]
+		}
+		if !seen[e.V] {
+			seen[e.V] = true
+			maxLoad += attackerCounts[e.V]
+		}
+	}
+	return FPResult{
+		Rounds:         rounds,
+		LowerBound:     big.NewRat(int64(minHit), int64(rounds)),
+		UpperBound:     big.NewRat(int64(maxLoad), int64(rounds)),
+		AttackerCounts: attackerCounts,
+		DefenderCounts: defenderCounts,
+	}, nil
+}
+
+// intCoverage is an integer-weight max-coverage solver over k-edge
+// subsets: branch and bound in descending-potential order, reusing buffers
+// across rounds.
+type intCoverage struct {
+	g       *graph.Graph
+	k       int
+	order   []int
+	pot     []int
+	prefix  []int
+	covered []int
+	chosen  []int
+	best    int
+	bestSet []int
+	loads   []int
+}
+
+func newIntCoverage(g *graph.Graph, k int) *intCoverage {
+	m := g.NumEdges()
+	return &intCoverage{
+		g:       g,
+		k:       k,
+		order:   make([]int, m),
+		pot:     make([]int, m),
+		prefix:  make([]int, m+1),
+		covered: make([]int, g.NumVertices()),
+		chosen:  make([]int, 0, k),
+		bestSet: make([]int, k),
+	}
+}
+
+// maxCoverage returns edge indices of a k-tuple maximizing the summed
+// loads of covered vertices. The returned slice is valid until the next
+// call.
+func (c *intCoverage) maxCoverage(loads []int) []int {
+	m := c.g.NumEdges()
+	c.loads = loads
+	for i := range c.order {
+		c.order[i] = i
+	}
+	for id := 0; id < m; id++ {
+		e := c.g.EdgeByID(id)
+		c.pot[id] = loads[e.U] + loads[e.V]
+	}
+	sort.SliceStable(c.order, func(a, b int) bool { return c.pot[c.order[a]] > c.pot[c.order[b]] })
+	c.prefix[0] = 0
+	for i, id := range c.order {
+		c.prefix[i+1] = c.prefix[i] + c.pot[id]
+	}
+	for i := range c.covered {
+		c.covered[i] = 0
+	}
+	c.best = -1
+	c.chosen = c.chosen[:0]
+	c.dfs(0, 0)
+	return c.bestSet
+}
+
+func (c *intCoverage) dfs(pos, current int) {
+	if len(c.chosen) == c.k {
+		if current > c.best {
+			c.best = current
+			copy(c.bestSet, c.chosen)
+		}
+		return
+	}
+	remaining := c.k - len(c.chosen)
+	m := c.g.NumEdges()
+	if m-pos < remaining {
+		return
+	}
+	hi := pos + remaining
+	if hi > m {
+		hi = m
+	}
+	if current+c.prefix[hi]-c.prefix[pos] <= c.best {
+		return
+	}
+	id := c.order[pos]
+	e := c.g.EdgeByID(id)
+	add := 0
+	if c.covered[e.U] == 0 {
+		add += c.loads[e.U]
+	}
+	if c.covered[e.V] == 0 {
+		add += c.loads[e.V]
+	}
+	c.covered[e.U]++
+	c.covered[e.V]++
+	c.chosen = append(c.chosen, id)
+	c.dfs(pos+1, current+add)
+	c.chosen = c.chosen[:len(c.chosen)-1]
+	c.covered[e.U]--
+	c.covered[e.V]--
+	c.dfs(pos+1, current)
+}

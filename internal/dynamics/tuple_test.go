@@ -1,0 +1,123 @@
+package dynamics
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/defender-game/defender/internal/core"
+	"github.com/defender-game/defender/internal/game"
+	"github.com/defender-game/defender/internal/graph"
+)
+
+func TestFictitiousPlayTupleBracketsValue(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}{
+		{"C5 k2", graph.Cycle(5), 2},
+		{"C6 k2", graph.Cycle(6), 2},
+		{"C6 k3", graph.Cycle(6), 3},
+		{"star5 k2", graph.Star(5), 2},
+		{"K4 k2", graph.Complete(4), 2},
+		{"grid23 k2", graph.Grid(2, 3), 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			value, _, _, err := core.GameValue(tt.g, tt.k)
+			if err != nil {
+				t.Fatalf("LP oracle: %v", err)
+			}
+			res, err := FictitiousPlayTuple(tt.g, tt.k, 3000)
+			if err != nil {
+				t.Fatalf("FictitiousPlayTuple: %v", err)
+			}
+			if !res.Brackets(value) {
+				t.Fatalf("bounds [%v, %v] miss the value %v",
+					res.LowerBound, res.UpperBound, value)
+			}
+			gap, _ := res.Gap().Float64()
+			if gap > 0.25 {
+				t.Errorf("gap %.4f too wide after %d rounds", gap, res.Rounds)
+			}
+		})
+	}
+}
+
+func TestFictitiousPlayTupleMatchesEdgeModelAtK1(t *testing.T) {
+	// At k=1 the tuple dynamics must agree with the Edge-model dynamics
+	// (identical deterministic play).
+	g := graph.Cycle(5)
+	a, err := FictitiousPlay(g, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FictitiousPlayTuple(g, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LowerBound.Cmp(b.LowerBound) != 0 || a.UpperBound.Cmp(b.UpperBound) != 0 {
+		t.Errorf("k=1 mismatch: edge [%v,%v] vs tuple [%v,%v]",
+			a.LowerBound, a.UpperBound, b.LowerBound, b.UpperBound)
+	}
+}
+
+func TestFictitiousPlayTupleErrors(t *testing.T) {
+	g := graph.Cycle(5)
+	if _, err := FictitiousPlayTuple(g, 1, 0); !errors.Is(err, ErrBadRounds) {
+		t.Errorf("rounds=0: err = %v", err)
+	}
+	if _, err := FictitiousPlayTuple(g, 0, 10); !errors.Is(err, game.ErrBadK) {
+		t.Errorf("k=0: err = %v", err)
+	}
+	if _, err := FictitiousPlayTuple(g, 9, 10); !errors.Is(err, game.ErrBadK) {
+		t.Errorf("k>m: err = %v", err)
+	}
+	if _, err := FictitiousPlayTuple(graph.New(3), 1, 10); err == nil {
+		t.Error("edgeless graph must fail")
+	}
+}
+
+func TestIntCoverageMatchesRationalBranchBound(t *testing.T) {
+	// The integer solver must agree with exhaustive counting on small
+	// instances with integer loads.
+	g := graph.Wheel(7)
+	loads := []int{5, 1, 0, 3, 2, 0, 4}
+	c := newIntCoverage(g, 2)
+	set := c.maxCoverage(loads)
+	if len(set) != 2 {
+		t.Fatalf("tuple size = %d", len(set))
+	}
+	// Exhaustive check over all pairs.
+	best := -1
+	for i := 0; i < g.NumEdges(); i++ {
+		for j := i + 1; j < g.NumEdges(); j++ {
+			cov := make(map[int]bool)
+			for _, id := range []int{i, j} {
+				e := g.EdgeByID(id)
+				cov[e.U] = true
+				cov[e.V] = true
+			}
+			sum := 0
+			for v := range cov {
+				sum += loads[v]
+			}
+			if sum > best {
+				best = sum
+			}
+		}
+	}
+	got := 0
+	cov := make(map[int]bool)
+	for _, id := range set {
+		e := g.EdgeByID(id)
+		cov[e.U] = true
+		cov[e.V] = true
+	}
+	for v := range cov {
+		got += loads[v]
+	}
+	if got != best {
+		t.Errorf("intCoverage = %d, exhaustive best = %d", got, best)
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/defender-game/defender/internal/core"
+	"github.com/defender-game/defender/internal/cover"
+	"github.com/defender-game/defender/internal/graph"
+)
+
+// E1PureExistence regenerates Theorem 3.1 and Corollary 3.3 as a frontier
+// table: for each graph family and each k, pure equilibria exist exactly
+// when k reaches the edge-cover number ρ(G), and never while n >= 2k+1.
+func E1PureExistence(cfg Config) (Table, error) {
+	t := Table{
+		ID:    "E1",
+		Title: "Pure Nash equilibrium existence frontier",
+		Claim: "Thm 3.1: pure NE exists iff G has an edge cover of size k; Cor 3.3: none while n >= 2k+1",
+		Headers: []string{
+			"graph", "n", "m", "rho(G)", "k", "n>=2k+1", "HasPureNE", "theory", "check",
+		},
+	}
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path8", graph.Path(8)},
+		{"cycle9", graph.Cycle(9)},
+		{"cycle10", graph.Cycle(10)},
+		{"star8", graph.Star(8)},
+		{"complete6", graph.Complete(6)},
+		{"grid3x4", graph.Grid(3, 4)},
+		{"petersen", graph.Petersen()},
+		{"randconn16", graph.RandomConnected(16, 0.2, cfg.Seed)},
+	}
+	if !cfg.Quick {
+		families = append(families,
+			struct {
+				name string
+				g    *graph.Graph
+			}{"grid5x6", graph.Grid(5, 6)},
+			struct {
+				name string
+				g    *graph.Graph
+			}{"hypercube4", graph.Hypercube(4)},
+			struct {
+				name string
+				g    *graph.Graph
+			}{"randconn32", graph.RandomConnected(32, 0.15, cfg.Seed+1)},
+		)
+	}
+
+	for _, fam := range families {
+		rho, err := cover.EdgeCoverNumber(fam.g)
+		if err != nil {
+			return t, fmt.Errorf("experiments: E1 %s: %w", fam.name, err)
+		}
+		// Probe around the frontier: below, at, and above rho.
+		ks := []int{rho - 2, rho - 1, rho, rho + 1, fam.g.NumEdges()}
+		for _, k := range ks {
+			if k < 1 || k > fam.g.NumEdges() {
+				continue
+			}
+			has, err := core.HasPureNE(fam.g, k)
+			if err != nil {
+				return t, fmt.Errorf("experiments: E1 %s k=%d: %w", fam.name, k, err)
+			}
+			theory := rho <= k
+			cor33 := fam.g.NumVertices() >= 2*k+1
+			// Consistency: theorem matches, and Cor 3.3 never contradicts.
+			ok := has == theory && (!cor33 || !has)
+			t.AddRow(
+				fam.name,
+				fmt.Sprint(fam.g.NumVertices()),
+				fmt.Sprint(fam.g.NumEdges()),
+				fmt.Sprint(rho),
+				fmt.Sprint(k),
+				fmt.Sprint(cor33),
+				fmt.Sprint(has),
+				fmt.Sprint(theory),
+				verdict(ok),
+			)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"rho(G) = n - mu(G) by Gallai's identity, computed with blossom matching",
+		"'theory' column is the Thm 3.1 prediction rho <= k; 'check' also asserts Cor 3.3 consistency",
+	)
+	return t, nil
+}
+
+// E6Characterization regenerates Corollary 4.11: the fraction of graphs
+// admitting k-matching equilibria, decided exactly by maximal-independent-
+// set enumeration on small instances, with the heuristic search compared
+// against the exact decision.
+func E6Characterization(cfg Config) (Table, error) {
+	t := Table{
+		ID:    "E6",
+		Title: "Graphs admitting k-matching equilibria (Cor 4.11 characterization)",
+		Claim: "Π_k(G) has a k-matching NE iff V partitions into independent IS + VC with G a VC-expander",
+		Headers: []string{
+			"ensemble", "graphs", "admit(exact)", "heuristic-found", "heuristic-missed", "false-positive", "check",
+		},
+	}
+	samples := 40
+	if cfg.Quick {
+		samples = 10
+	}
+
+	type ensemble struct {
+		name string
+		gen  func(i int) *graph.Graph
+	}
+	ensembles := []ensemble{
+		{"gnp n=10 p=0.2", func(i int) *graph.Graph { return graph.RandomConnected(10, 0.2, cfg.Seed+int64(i)) }},
+		{"gnp n=12 p=0.35", func(i int) *graph.Graph { return graph.RandomConnected(12, 0.35, cfg.Seed+1000+int64(i)) }},
+		{"bipartite 6+6", func(i int) *graph.Graph { return graph.RandomBipartite(6, 6, 0.3, cfg.Seed+2000+int64(i)) }},
+		{"odd cycles", func(i int) *graph.Graph { return graph.Cycle(2*(i%5) + 5) }},
+		{"even cycles", func(i int) *graph.Graph { return graph.Cycle(2*(i%5) + 6) }},
+		{"scale-free BA(14,2)", func(i int) *graph.Graph { return graph.BarabasiAlbert(14, 2, cfg.Seed+3000+int64(i)) }},
+		{"small-world WS(14,4,.2)", func(i int) *graph.Graph { return graph.WattsStrogatz(14, 4, 0.2, cfg.Seed+4000+int64(i)) }},
+	}
+
+	for _, ens := range ensembles {
+		var admit, found, missed, falsePos int
+		for i := 0; i < samples; i++ {
+			g := ens.gen(i)
+			_, exactErr := cover.FindNEPartitionExact(g, 0)
+			exists := exactErr == nil
+			if exists {
+				admit++
+			}
+			_, greedyErr := cover.FindNEPartitionGreedy(g, 16, cfg.Seed)
+			switch {
+			case greedyErr == nil && exists:
+				found++
+			case greedyErr == nil && !exists:
+				falsePos++ // impossible if the verifier is sound
+			case greedyErr != nil && exists:
+				missed++
+			}
+		}
+		// Self-check: no false positives; bipartite ensembles always admit.
+		ok := falsePos == 0
+		if ens.name == "bipartite 6+6" || ens.name == "even cycles" {
+			ok = ok && admit == samples
+		}
+		if ens.name == "odd cycles" {
+			ok = ok && admit == 0
+		}
+		t.AddRow(
+			ens.name,
+			fmt.Sprint(samples),
+			fmt.Sprint(admit),
+			fmt.Sprint(found),
+			fmt.Sprint(missed),
+			fmt.Sprint(falsePos),
+			verdict(ok),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"exact decision enumerates maximal independent sets (Bron–Kerbosch) and tests the Hall/SDR condition",
+		"bipartite graphs always admit (Thm 5.1); odd cycles and cliques never do",
+	)
+	return t, nil
+}

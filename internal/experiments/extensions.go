@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+
+	"github.com/defender-game/defender/internal/core"
+	"github.com/defender-game/defender/internal/graph"
+)
+
+// E9Extensions exercises the structural equilibria lifted from the
+// companion work [8]: perfect-matching equilibria of Π_k (gain 2kν/n,
+// linear in k), regular-graph Edge-model equilibria (gain 2ν/n), and the
+// Path-model pure-equilibrium frontier (Hamiltonian path at k = n−1).
+func E9Extensions(cfg Config) (Table, error) {
+	t := Table{
+		ID:    "E9",
+		Title: "Structural extensions: perfect-matching, regular and path equilibria",
+		Claim: "[8]-style equilibria lifted to Π_k where sound; gains stay linear in k",
+		Headers: []string{
+			"family", "instance", "k", "gain", "expected", "verifiedNE", "check",
+		},
+	}
+	const nu = 6
+
+	// Perfect-matching equilibria across k.
+	pmInstances := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"C8", graph.Cycle(8)},
+		{"K6", graph.Complete(6)},
+		{"petersen", graph.Petersen()},
+		{"hypercube3", graph.Hypercube(3)},
+	}
+	if !cfg.Quick {
+		pmInstances = append(pmInstances, struct {
+			name string
+			g    *graph.Graph
+		}{"grid4x4", graph.Grid(4, 4)})
+	}
+	for _, inst := range pmInstances {
+		n := inst.g.NumVertices()
+		for _, k := range []int{1, 2, n / 2} {
+			if k < 1 || k > n/2 {
+				continue
+			}
+			ne, err := core.PerfectMatchingNE(inst.g, nu, k)
+			if err != nil {
+				return t, fmt.Errorf("experiments: E9 %s k=%d: %w", inst.name, k, err)
+			}
+			verErr := core.VerifyNE(ne.Game, ne.Profile)
+			want := big.NewRat(2*int64(k)*nu, int64(n))
+			ok := verErr == nil && ne.DefenderGain().Cmp(want) == 0
+			t.AddRow(
+				"perfect-matching", inst.name, fmt.Sprint(k),
+				ne.DefenderGain().RatString(), want.RatString(),
+				fmt.Sprint(verErr == nil), verdict(ok),
+			)
+		}
+	}
+
+	// Regular-graph Edge-model equilibria.
+	for _, inst := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"C7", graph.Cycle(7)},
+		{"K5", graph.Complete(5)},
+		{"petersen", graph.Petersen()},
+	} {
+		ne, err := core.RegularGraphEdgeNE(inst.g, nu)
+		if err != nil {
+			return t, fmt.Errorf("experiments: E9 regular %s: %w", inst.name, err)
+		}
+		verErr := core.VerifyNE(ne.Game, ne.Profile)
+		want := big.NewRat(2*nu, int64(inst.g.NumVertices()))
+		ok := verErr == nil && ne.DefenderGain().Cmp(want) == 0
+		t.AddRow(
+			"regular-edge", inst.name, "1",
+			ne.DefenderGain().RatString(), want.RatString(),
+			fmt.Sprint(verErr == nil), verdict(ok),
+		)
+	}
+
+	// Path-model pure equilibria: frontier at k = n−1 with a Hamiltonian
+	// path; stars never admit one.
+	for _, inst := range []struct {
+		name     string
+		g        *graph.Graph
+		hamilton bool
+	}{
+		{"C6", graph.Cycle(6), true},
+		{"grid2x4", graph.Grid(2, 4), true},
+		{"star6", graph.Star(6), false},
+		{"petersen", graph.Petersen(), true},
+	} {
+		n := inst.g.NumVertices()
+		exists, path, err := core.HasPurePathNE(inst.g, n-1)
+		if err != nil {
+			return t, fmt.Errorf("experiments: E9 path %s: %w", inst.name, err)
+		}
+		// Below the frontier there is never a pure path NE.
+		below, _, err := core.HasPurePathNE(inst.g, n-2)
+		if err != nil {
+			return t, fmt.Errorf("experiments: E9 path %s: %w", inst.name, err)
+		}
+		ok := exists == inst.hamilton && !below && (!exists || len(path) == n)
+		t.AddRow(
+			"path-model", inst.name, fmt.Sprint(n-1),
+			fmt.Sprintf("pureNE=%v", exists), fmt.Sprintf("hamiltonian=%v", inst.hamilton),
+			"-", verdict(ok),
+		)
+	}
+
+	t.Notes = append(t.Notes,
+		"perfect-matching gain 2kν/n exceeds the k-matching gain kν/|IS| exactly when |IS| > n/2",
+		"path-model pure NE requires the defender's single path to cover all of V: k = n−1 and a Hamiltonian path",
+	)
+	return t, nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFiguresSelfCheck(t *testing.T) {
+	for _, f := range Figures() {
+		f := f
+		t.Run(f.ID, func(t *testing.T) {
+			fig, err := f.Run(quickCfg())
+			if err != nil {
+				t.Fatalf("%s: %v", f.ID, err)
+			}
+			if !fig.OK {
+				t.Errorf("%s self-check failed", f.ID)
+			}
+			if fig.Body == "" || fig.Title == "" {
+				t.Errorf("%s rendered empty", f.ID)
+			}
+		})
+	}
+}
+
+func TestRenderASCIIBasics(t *testing.T) {
+	out := renderASCII([]Series{
+		{Label: "line", Points: [][2]float64{{0, 0}, {1, 1}, {2, 2}}},
+	}, 20, 8, "x", "y")
+	for _, want := range []string{"*", "line", "(x)", "y"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Degenerate inputs.
+	if got := renderASCII(nil, 20, 8, "x", "y"); got != "(no data)\n" {
+		t.Errorf("empty series: %q", got)
+	}
+	flat := renderASCII([]Series{{Label: "flat", Points: [][2]float64{{1, 5}, {2, 5}}}}, 5, 3, "x", "y")
+	if !strings.Contains(flat, "*") {
+		t.Error("flat series must still render markers")
+	}
+}
+
+func TestRenderASCIIMultipleGlyphs(t *testing.T) {
+	out := renderASCII([]Series{
+		{Label: "a", Points: [][2]float64{{0, 0}}},
+		{Label: "b", Points: [][2]float64{{1, 1}}},
+		{Label: "c", Points: [][2]float64{{2, 4}}},
+	}, 24, 8, "x", "y")
+	for _, g := range []string{"*", "o", "+"} {
+		if !strings.Contains(out, g) {
+			t.Errorf("missing glyph %q", g)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/defender-game/defender/internal/core"
+	"github.com/defender-game/defender/internal/graph"
+)
+
+// E16CompleteSolver sweeps SolveAny over a zoo spanning every family route
+// — bipartite, perfectly-matchable, regular, and none-of-the-above — and
+// verifies each returned equilibrium exactly. This is the coverage claim
+// of the unified solver made measurable: a verified equilibrium for every
+// instance the enumeration limits allow.
+func E16CompleteSolver(cfg Config) (Table, error) {
+	t := Table{
+		ID:    "E16",
+		Title: "Complete solver: a verified equilibrium for every instance",
+		Claim: "SolveAny = structural families + LP minimax fallback; all outputs pass the exact verifier",
+		Headers: []string{
+			"graph", "n", "m", "k", "family", "gain", "verified", "check",
+		},
+	}
+	const nu = 5
+	zoo := []struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}{
+		{"grid3x4", graph.Grid(3, 4), 2},
+		{"tree15", graph.RandomTree(15, 3), 2},
+		{"heawood", graph.Heawood(), 2},
+		{"K6", graph.Complete(6), 2},
+		{"petersen", graph.Petersen(), 2},
+		{"C5", graph.Cycle(5), 1},
+		{"C5", graph.Cycle(5), 2},
+		{"wheel7", graph.Wheel(7), 1},
+		{"wheel7", graph.Wheel(7), 2},
+		{"lollipop41", graph.Lollipop(4, 1), 1},
+		{"barbell3", graph.Barbell(3), 1},
+	}
+	if !cfg.Quick {
+		zoo = append(zoo, []struct {
+			name string
+			g    *graph.Graph
+			k    int
+		}{
+			{"ws12", graph.WattsStrogatz(12, 4, 0.2, cfg.Seed), 1},
+			{"ba14", graph.BarabasiAlbert(14, 2, cfg.Seed), 1},
+			{"gnp12", graph.RandomConnected(12, 0.3, cfg.Seed), 1},
+		}...)
+	}
+	for _, z := range zoo {
+		ne, family, err := core.SolveAny(z.g, nu, z.k)
+		if err != nil {
+			return t, fmt.Errorf("experiments: E16 %s k=%d: %w", z.name, z.k, err)
+		}
+		verErr := core.VerifyNE(ne.Game, ne.Profile)
+		t.AddRow(
+			z.name,
+			fmt.Sprint(z.g.NumVertices()),
+			fmt.Sprint(z.g.NumEdges()),
+			fmt.Sprint(z.k),
+			family,
+			ne.DefenderGain().RatString(),
+			fmt.Sprint(verErr == nil),
+			verdict(verErr == nil),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"family order: k-matching → perfect-matching → regular (k=1) → LP minimax lift",
+		"the LP fallback is exact and lifts to any ν because payoffs scale linearly in the attacker population",
+	)
+	return t, nil
+}

@@ -1,0 +1,109 @@
+package game
+
+import (
+	"errors"
+	"math/big"
+	"strings"
+	"testing"
+
+	"github.com/defender-game/defender/internal/graph"
+)
+
+func buildRoundTripProfile(t *testing.T, g *graph.Graph, nu, k int) (*Game, MixedProfile) {
+	t.Helper()
+	gm := mustGame(t, g, nu, k)
+	t1, err := NewTupleFromIDs(g, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := NewTupleFromIDs(g, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := NewTupleStrategy([]Tuple{t1, t2}, []*big.Rat{rat(1, 3), rat(2, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp1 := NewVertexStrategy(map[int]*big.Rat{0: rat(1, 2), 2: rat(1, 2)})
+	vp2 := NewVertexStrategy(map[int]*big.Rat{1: rat(1, 4), 3: rat(3, 4)})
+	mp := MixedProfile{VP: []VertexStrategy{vp1, vp2}, TP: ts}
+	if err := gm.Validate(mp); err != nil {
+		t.Fatal(err)
+	}
+	return gm, mp
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := graph.Cycle(4)
+	gm, mp := buildRoundTripProfile(t, g, 2, 2)
+	data, err := gm.EncodeProfile(mp)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	gm2, mp2, err := DecodeProfile(g, data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if gm2.Attackers() != 2 || gm2.K() != 2 {
+		t.Errorf("instance params lost: ν=%d k=%d", gm2.Attackers(), gm2.K())
+	}
+	// Exact equality of all probabilities and profits.
+	for v := 0; v < g.NumVertices(); v++ {
+		for i := range mp.VP {
+			if mp.VP[i].Prob(v).Cmp(mp2.VP[i].Prob(v)) != 0 {
+				t.Errorf("attacker %d prob(%d) changed", i, v)
+			}
+		}
+	}
+	if gm.ExpectedProfitTP(mp).Cmp(gm2.ExpectedProfitTP(mp2)) != 0 {
+		t.Error("defender profit changed across round trip")
+	}
+}
+
+func TestEncodeRejectsInvalidProfile(t *testing.T) {
+	g := graph.Cycle(4)
+	gm := mustGame(t, g, 2, 2)
+	if _, err := gm.EncodeProfile(MixedProfile{}); !errors.Is(err, ErrInvalidProfile) {
+		t.Errorf("err = %v, want ErrInvalidProfile", err)
+	}
+}
+
+func TestDecodeProfileErrors(t *testing.T) {
+	g := graph.Cycle(4)
+	tests := []struct {
+		name string
+		json string
+	}{
+		{"garbage", "{"},
+		{"bad k", `{"attackers":1,"k":99,"vertexPlayers":[],"tuplePlayer":[]}`},
+		{"arity mismatch", `{"attackers":2,"k":1,"vertexPlayers":[{"probs":{"0":"1"}}],"tuplePlayer":[{"edges":[0],"prob":"1"}]}`},
+		{"bad vertex key", `{"attackers":1,"k":1,"vertexPlayers":[{"probs":{"x":"1"}}],"tuplePlayer":[{"edges":[0],"prob":"1"}]}`},
+		{"bad vertex prob", `{"attackers":1,"k":1,"vertexPlayers":[{"probs":{"0":"??"}}],"tuplePlayer":[{"edges":[0],"prob":"1"}]}`},
+		{"bad tuple edge", `{"attackers":1,"k":1,"vertexPlayers":[{"probs":{"0":"1"}}],"tuplePlayer":[{"edges":[99],"prob":"1"}]}`},
+		{"bad tuple prob", `{"attackers":1,"k":1,"vertexPlayers":[{"probs":{"0":"1"}}],"tuplePlayer":[{"edges":[0],"prob":"zz"}]}`},
+		{"probs not summing", `{"attackers":1,"k":1,"vertexPlayers":[{"probs":{"0":"1/2"}}],"tuplePlayer":[{"edges":[0],"prob":"1"}]}`},
+		{"wrong tuple size", `{"attackers":1,"k":2,"vertexPlayers":[{"probs":{"0":"1"}}],"tuplePlayer":[{"edges":[0],"prob":"1"}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, _, err := DecodeProfile(g, []byte(tt.json)); err == nil {
+				t.Errorf("DecodeProfile(%q) should fail", tt.json)
+			}
+		})
+	}
+}
+
+func TestEncodeContainsRationalStrings(t *testing.T) {
+	g := graph.Cycle(4)
+	gm, mp := buildRoundTripProfile(t, g, 2, 2)
+	data, err := gm.EncodeProfile(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"1/3"`, `"2/3"`, `"1/2"`, `"3/4"`, `"attackers": 2`, `"k": 2`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("encoded profile missing %s:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package game
+
+import (
+	"testing"
+
+	"github.com/defender-game/defender/internal/graph"
+)
+
+// FuzzDecodeProfile: arbitrary bytes against a fixed graph must either
+// decode to a fully-validated profile or return an error — never panic,
+// never yield a profile that fails validation afterwards.
+func FuzzDecodeProfile(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"attackers":1,"k":1,"vertexPlayers":[{"probs":{"0":"1"}}],"tuplePlayer":[{"edges":[0],"prob":"1"}]}`,
+		`{"attackers":2,"k":2,"vertexPlayers":[{"probs":{"0":"1/2","2":"1/2"}},{"probs":{"1":"1"}}],"tuplePlayer":[{"edges":[0,2],"prob":"1"}]}`,
+		`{"attackers":-1}`,
+		`{"attackers":1,"k":1,"vertexPlayers":[{"probs":{"0":"-1"}}],"tuplePlayer":[{"edges":[0],"prob":"2"}]}`,
+		`{"attackers":1,"k":1,"vertexPlayers":[{"probs":{"99":"1"}}],"tuplePlayer":[{"edges":[0],"prob":"1"}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	g := graph.Cycle(4)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gm, mp, err := DecodeProfile(g, data)
+		if err != nil {
+			return
+		}
+		// Accepted profiles must satisfy full validation (decode already
+		// validates; this asserts the invariant is real).
+		if err := gm.Validate(mp); err != nil {
+			t.Fatalf("decoded profile fails validation: %v", err)
+		}
+		// And re-encode losslessly.
+		if _, err := gm.EncodeProfile(mp); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}

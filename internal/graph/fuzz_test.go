@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the edge-list parser must never panic and must only produce
+// graphs that re-encode to something it can parse back.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"n 3\n0 1\n1 2\n",
+		"0 1\n",
+		"# comment\n\nn 10\n0 9\n",
+		"n -1\n",
+		"0 0\n",
+		"1 2 3\n",
+		"a b\n",
+		"n 2\n0 5\n",
+		strings.Repeat("0 1\n", 3),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseString(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything accepted must round-trip.
+		back, err := ParseString(g.EncodeString())
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: (%d,%d) -> (%d,%d)",
+				g.NumVertices(), g.NumEdges(), back.NumVertices(), back.NumEdges())
+		}
+	})
+}

@@ -1,0 +1,306 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Path returns the path graph P_n on n vertices (n-1 edges).
+func Path(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		_ = g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph C_n on n >= 3 vertices.
+// For n < 3 it returns a path (cycles need at least three vertices).
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		_ = g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Star returns the star K_{1,n-1}: vertex 0 is the center.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		_ = g.AddEdge(0, v)
+	}
+	return g
+}
+
+// Wheel returns the wheel W_n: a cycle on vertices 1..n-1 plus hub 0.
+// It requires n >= 4 for the rim to be a proper cycle.
+func Wheel(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		_ = g.AddEdge(0, v)
+	}
+	for v := 1; v+1 < n; v++ {
+		_ = g.AddEdge(v, v+1)
+	}
+	if n >= 4 {
+		_ = g.AddEdge(n-1, 1)
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b}: vertices 0..a-1 on the left side and
+// a..a+b-1 on the right side.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Grid returns the r x c grid graph. Vertex (i, j) has index i*c + j.
+func Grid(r, c int) *Graph {
+	g := New(r * c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			v := i*c + j
+			if j+1 < c {
+				_ = g.AddEdge(v, v+1)
+			}
+			if i+1 < r {
+				_ = g.AddEdge(v, v+c)
+			}
+		}
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d vertices.
+func Hypercube(d int) *Graph {
+	n := 1 << uint(d)
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			u := v ^ (1 << uint(b))
+			if v < u {
+				_ = g.AddEdge(v, u)
+			}
+		}
+	}
+	return g
+}
+
+// PerfectMatchingGraph returns n/2 disjoint edges (2i, 2i+1); n must be even
+// (an odd trailing vertex is left isolated).
+func PerfectMatchingGraph(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v += 2 {
+		_ = g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+// Petersen returns the Petersen graph (10 vertices, 15 edges, 3-regular).
+func Petersen() *Graph {
+	g := New(10)
+	for v := 0; v < 5; v++ {
+		_ = g.AddEdge(v, (v+1)%5)     // outer cycle
+		_ = g.AddEdge(v, v+5)         // spokes
+		_ = g.AddEdge(v+5, (v+2)%5+5) // inner pentagram
+	}
+	return g
+}
+
+// Heawood returns the Heawood graph: the bipartite 3-regular cage on 14
+// vertices (the incidence graph of the Fano plane). It is simultaneously
+// bipartite (k-matching equilibria exist) and perfectly matchable, making
+// it the canonical instance where the two equilibrium families tie.
+func Heawood() *Graph {
+	g := New(14)
+	for v := 0; v < 14; v++ {
+		_ = g.AddEdge(v, (v+1)%14)
+	}
+	for _, e := range [][2]int{{0, 5}, {2, 7}, {4, 9}, {6, 11}, {8, 13}, {10, 1}, {12, 3}} {
+		if !g.HasEdge(e[0], e[1]) {
+			_ = g.AddEdge(e[0], e[1])
+		}
+	}
+	return g
+}
+
+// RandomGNP returns an Erdős–Rényi graph G(n, p) drawn with the given seed.
+func RandomGNP(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				_ = g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomBipartite returns a random bipartite graph with sides of size a and b
+// where every cross pair is an edge independently with probability p. To
+// avoid isolated vertices (the Tuple model forbids them), every vertex that
+// ends up isolated is attached to a uniformly random vertex of the other side
+// (requires a, b >= 1).
+func RandomBipartite(a, b int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			if rng.Float64() < p {
+				_ = g.AddEdge(u, v)
+			}
+		}
+	}
+	if a >= 1 && b >= 1 {
+		for u := 0; u < a; u++ {
+			if g.Degree(u) == 0 {
+				_ = g.AddEdge(u, a+rng.Intn(b))
+			}
+		}
+		for v := a; v < a+b; v++ {
+			if g.Degree(v) == 0 {
+				_ = g.AddEdge(rng.Intn(a), v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labelled tree on n vertices, built by
+// decoding a random Prüfer sequence.
+func RandomTree(n int, seed int64) *Graph {
+	g := New(n)
+	if n <= 1 {
+		return g
+	}
+	if n == 2 {
+		_ = g.AddEdge(0, 1)
+		return g
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = rng.Intn(n)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range prufer {
+		degree[v]++
+	}
+	// Repeatedly attach the smallest leaf to the next Prüfer symbol.
+	leaf := -1
+	ptr := 0
+	next := func() int {
+		if leaf != -1 {
+			v := leaf
+			leaf = -1
+			return v
+		}
+		for degree[ptr] != 1 {
+			ptr++
+		}
+		v := ptr
+		ptr++
+		return v
+	}
+	for _, p := range prufer {
+		v := next()
+		_ = g.AddEdge(v, p)
+		degree[v]--
+		degree[p]--
+		if degree[p] == 1 && p < ptr {
+			leaf = p
+		}
+	}
+	// Two vertices of degree 1 remain; join them.
+	u, v := -1, -1
+	for w := 0; w < n; w++ {
+		if degree[w] == 1 {
+			if u == -1 {
+				u = w
+			} else {
+				v = w
+			}
+		}
+	}
+	_ = g.AddEdge(u, v)
+	return g
+}
+
+// RandomConnected returns a connected Erdős–Rényi-style graph: a random tree
+// backbone (guaranteeing connectivity and no isolated vertices) plus each
+// remaining pair as an edge with probability p.
+func RandomConnected(n int, p float64, seed int64) *Graph {
+	g := RandomTree(n, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) && rng.Float64() < p {
+				_ = g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegular returns a d-regular graph on n vertices via the pairing
+// model with restarts, or an error if n*d is odd or d >= n.
+func RandomRegular(n, d int, seed int64) (*Graph, error) {
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: no %d-regular graph on %d vertices (odd degree sum)", d, n)
+	}
+	if d >= n {
+		return nil, fmt.Errorf("graph: degree %d too large for %d vertices", d, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const maxAttempts = 1000
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		g, ok := tryPairing(n, d, rng)
+		if ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: pairing model failed to produce a simple %d-regular graph on %d vertices", d, n)
+}
+
+// tryPairing runs one round of the configuration model.
+func tryPairing(n, d int, rng *rand.Rand) (*Graph, bool) {
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	g := New(n)
+	for i := 0; i < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v || g.HasEdge(u, v) {
+			return nil, false
+		}
+		_ = g.AddEdge(u, v)
+	}
+	return g, true
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// graph6 is McKay's compact ASCII format for simple undirected graphs,
+// used by nauty/geng and most graph repositories. Support for it lets the
+// experiments consume standard instance collections directly.
+//
+// Layout: N(n) followed by the upper-triangle adjacency bits x(0,1),
+// x(0,2), x(1,2), x(0,3), ... packed big-endian into 6-bit groups, each
+// encoded as byte value+63. N(n) is one byte n+63 for n <= 62, or '~'
+// followed by three 6-bit bytes for n <= 258047 (the 8-byte form for even
+// larger graphs is out of scope here).
+
+// ErrBadGraph6 is returned for malformed graph6 input.
+var ErrBadGraph6 = errors.New("graph: malformed graph6")
+
+// ParseGraph6 decodes a single graph6 line (surrounding whitespace and an
+// optional ">>graph6<<" header are tolerated).
+func ParseGraph6(s string) (*Graph, error) {
+	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), ">>graph6<<"))
+	if s == "" {
+		return nil, fmt.Errorf("%w: empty input", ErrBadGraph6)
+	}
+	data := []byte(s)
+	for _, b := range data {
+		if b < 63 || b > 126 {
+			return nil, fmt.Errorf("%w: byte %q out of range", ErrBadGraph6, b)
+		}
+	}
+	// Decode N(n).
+	var n, pos int
+	switch {
+	case data[0] == 126 && len(data) >= 4 && data[1] == 126:
+		return nil, fmt.Errorf("%w: 8-byte vertex counts not supported", ErrBadGraph6)
+	case data[0] == 126:
+		if len(data) < 4 {
+			return nil, fmt.Errorf("%w: truncated extended vertex count", ErrBadGraph6)
+		}
+		n = int(data[1]-63)<<12 | int(data[2]-63)<<6 | int(data[3]-63)
+		pos = 4
+	default:
+		n = int(data[0] - 63)
+		pos = 1
+	}
+	bitsNeeded := n * (n - 1) / 2
+	bytesNeeded := (bitsNeeded + 5) / 6
+	if len(data)-pos != bytesNeeded {
+		return nil, fmt.Errorf("%w: want %d adjacency bytes for n=%d, got %d",
+			ErrBadGraph6, bytesNeeded, n, len(data)-pos)
+	}
+	g := New(n)
+	bit := 0
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			byteIdx := pos + bit/6
+			shift := 5 - bit%6
+			if (data[byteIdx]-63)>>uint(shift)&1 == 1 {
+				if err := g.AddEdge(i, j); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadGraph6, err)
+				}
+			}
+			bit++
+		}
+	}
+	return g, nil
+}
+
+// FormatGraph6 encodes g as a graph6 string. Graphs beyond 258047 vertices
+// are rejected.
+func FormatGraph6(g *Graph) (string, error) {
+	n := g.NumVertices()
+	if n > 258047 {
+		return "", fmt.Errorf("%w: n=%d too large to encode", ErrBadGraph6, n)
+	}
+	var sb strings.Builder
+	if n <= 62 {
+		sb.WriteByte(byte(n + 63))
+	} else {
+		sb.WriteByte(126)
+		sb.WriteByte(byte(n>>12&63 + 63))
+		sb.WriteByte(byte(n>>6&63 + 63))
+		sb.WriteByte(byte(n&63 + 63))
+	}
+	acc, accBits := 0, 0
+	flush := func() {
+		sb.WriteByte(byte(acc + 63))
+		acc, accBits = 0, 0
+	}
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			acc <<= 1
+			if g.HasEdge(i, j) {
+				acc |= 1
+			}
+			accBits++
+			if accBits == 6 {
+				flush()
+			}
+		}
+	}
+	if accBits > 0 {
+		acc <<= uint(6 - accBits)
+		flush()
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The edge-list exchange format is line-oriented plain text:
+//
+//	# comment
+//	n <numVertices>
+//	<u> <v>
+//	<u> <v>
+//	...
+//
+// The "n" header is optional; without it the vertex count is one more than
+// the largest endpoint mentioned.
+
+// Parse reads a graph in edge-list format from r.
+func Parse(r io.Reader) (*Graph, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var (
+		declared = -1
+		pairs    [][2]int
+		maxV     = -1
+		lineNo   int
+	)
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "n" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: malformed vertex-count header %q", lineNo, line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: invalid vertex count %q", lineNo, fields[1])
+			}
+			declared = n
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: expected \"u v\", got %q", lineNo, line)
+		}
+		u, errU := strconv.Atoi(fields[0])
+		v, errV := strconv.Atoi(fields[1])
+		if errU != nil || errV != nil || u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: invalid endpoints %q", lineNo, line)
+		}
+		if u > maxV {
+			maxV = u
+		}
+		if v > maxV {
+			maxV = v
+		}
+		pairs = append(pairs, [2]int{u, v})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read edge list: %w", err)
+	}
+	n := maxV + 1
+	if declared >= 0 {
+		if declared < n {
+			return nil, fmt.Errorf("graph: declared n=%d but saw vertex %d", declared, maxV)
+		}
+		n = declared
+	}
+	g := New(n)
+	for _, p := range pairs {
+		if err := g.AddEdge(p[0], p[1]); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// ParseString parses an edge list from a string (see Parse).
+func ParseString(s string) (*Graph, error) { return Parse(strings.NewReader(s)) }
+
+// Write serializes g in edge-list format, including the "n" header so that
+// trailing isolated vertices round-trip.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.n); err != nil {
+		return fmt.Errorf("graph: write edge list: %w", err)
+	}
+	for _, e := range g.edges {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return fmt.Errorf("graph: write edge list: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: write edge list: %w", err)
+	}
+	return nil
+}
+
+// EncodeString serializes g in edge-list format to a string.
+func (g *Graph) EncodeString() string {
+	var sb strings.Builder
+	_ = g.Write(&sb)
+	return sb.String()
+}
+
+// DOT renders g in Graphviz DOT syntax. highlight is an optional set of
+// edges to emphasize (drawn bold); pass nil for a plain rendering.
+func (g *Graph) DOT(name string, highlight []Edge) string {
+	emph := make(map[Edge]bool, len(highlight))
+	for _, e := range highlight {
+		emph[NewEdge(e.U, e.V)] = true
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %s {\n", sanitizeDOTName(name))
+	for v := 0; v < g.n; v++ {
+		fmt.Fprintf(&sb, "  %d;\n", v)
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	for _, e := range edges {
+		if emph[e] {
+			fmt.Fprintf(&sb, "  %d -- %d [style=bold];\n", e.U, e.V)
+		} else {
+			fmt.Fprintf(&sb, "  %d -- %d;\n", e.U, e.V)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// sanitizeDOTName makes an arbitrary string a valid DOT identifier.
+func sanitizeDOTName(name string) string {
+	if name == "" {
+		return "G"
+	}
+	var sb strings.Builder
+	for i, r := range name {
+		isAlpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		isDigit := r >= '0' && r <= '9'
+		switch {
+		case isAlpha || (isDigit && i > 0):
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	g, err := ParseString("# a triangle\nn 3\n0 1\n1 2\n2 0\n")
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestParseInfersVertexCount(t *testing.T) {
+	g, err := ParseString("0 5\n")
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if g.NumVertices() != 6 {
+		t.Errorf("n = %d, want 6", g.NumVertices())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{"malformed header", "n\n"},
+		{"negative count", "n -1\n"},
+		{"three fields", "0 1 2\n"},
+		{"non-numeric", "a b\n"},
+		{"negative vertex", "-1 0\n"},
+		{"declared too small", "n 2\n0 5\n"},
+		{"self loop", "3 3\n"},
+		{"duplicate", "0 1\n1 0\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseString(tt.input); err == nil {
+				t.Errorf("ParseString(%q) should fail", tt.input)
+			}
+		})
+	}
+}
+
+func TestParseSkipsBlanksAndComments(t *testing.T) {
+	g, err := ParseString("\n\n# header\n  # indented comment\n0 1\n\n")
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("m = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%20+20) % 20
+		g := RandomGNP(n+1, 0.3, seed)
+		back, err := ParseString(g.EncodeString())
+		if err != nil {
+			return false
+		}
+		if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !back.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripPreservesTrailingIsolated(t *testing.T) {
+	g := New(5)
+	mustAdd(t, g, 0, 1)
+	back, err := ParseString(g.EncodeString())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.NumVertices() != 5 {
+		t.Errorf("n = %d, want 5 (header must preserve isolated tail)", back.NumVertices())
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := Path(3)
+	dot := g.DOT("p3", []Edge{NewEdge(0, 1)})
+	for _, want := range []string{"graph p3 {", "0 -- 1 [style=bold];", "1 -- 2;", "}"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestSanitizeDOTName(t *testing.T) {
+	tests := []struct {
+		in, want string
+	}{
+		{"", "G"},
+		{"ok_name", "ok_name"},
+		{"3leading", "_leading"},
+		{"has space", "has_space"},
+		{"k{3,4}", "k_3_4_"},
+	}
+	for _, tt := range tests {
+		if got := sanitizeDOTName(tt.in); got != tt.want {
+			t.Errorf("sanitizeDOTName(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package graph
+
+import "fmt"
+
+// Structural operations on graphs. These are used by the experiments to
+// widen the instance families (e.g. line graphs turn edge-selection games
+// into vertex-selection ones) and by tests as independent oracles.
+
+// Complement returns the simple complement of g: same vertices, an edge
+// exactly where g has none.
+func (g *Graph) Complement() *Graph {
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if !g.HasEdge(u, v) {
+				_ = c.AddEdge(u, v)
+			}
+		}
+	}
+	return c
+}
+
+// LineGraph returns L(G): one vertex per edge of g (indexed by edge id),
+// with two vertices adjacent iff the underlying edges share an endpoint.
+// Defender tuples of Π_k(G) correspond to k-vertex subsets of L(G);
+// tuples of pairwise disjoint edges correspond to independent sets.
+func (g *Graph) LineGraph() *Graph {
+	m := g.NumEdges()
+	l := New(m)
+	for i := 0; i < m; i++ {
+		ei := g.EdgeByID(i)
+		for j := i + 1; j < m; j++ {
+			ej := g.EdgeByID(j)
+			if ej.Has(ei.U) || ej.Has(ei.V) {
+				_ = l.AddEdge(i, j)
+			}
+		}
+	}
+	return l
+}
+
+// DisjointUnion returns the graph consisting of g followed by h on a
+// shifted vertex range, along with the offset of h's vertices.
+func DisjointUnion(g, h *Graph) (*Graph, int) {
+	offset := g.n
+	u := New(g.n + h.n)
+	for _, e := range g.edges {
+		_ = u.AddEdge(e.U, e.V)
+	}
+	for _, e := range h.edges {
+		_ = u.AddEdge(e.U+offset, e.V+offset)
+	}
+	return u, offset
+}
+
+// Ladder returns the ladder graph L_n: two parallel paths of n vertices
+// with rungs between them (the 2×n grid).
+func Ladder(n int) *Graph { return Grid(2, n) }
+
+// Barbell returns two K_c cliques joined by a single bridge edge.
+func Barbell(c int) *Graph {
+	g := New(2 * c)
+	for u := 0; u < c; u++ {
+		for v := u + 1; v < c; v++ {
+			_ = g.AddEdge(u, v)
+			_ = g.AddEdge(c+u, c+v)
+		}
+	}
+	if c >= 1 {
+		_ = g.AddEdge(c-1, c)
+	}
+	return g
+}
+
+// Lollipop returns K_c with a path of p extra vertices hanging off
+// vertex c−1.
+func Lollipop(c, p int) *Graph {
+	g := New(c + p)
+	for u := 0; u < c; u++ {
+		for v := u + 1; v < c; v++ {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	prev := c - 1
+	for i := 0; i < p; i++ {
+		_ = g.AddEdge(prev, c+i)
+		prev = c + i
+	}
+	return g
+}
+
+// CompleteBinaryTree returns the complete binary tree with the given
+// number of levels (level 1 = a single root), n = 2^levels − 1 vertices.
+func CompleteBinaryTree(levels int) *Graph {
+	if levels < 1 {
+		return New(0)
+	}
+	n := (1 << uint(levels)) - 1
+	g := New(n)
+	for v := 1; v < n; v++ {
+		_ = g.AddEdge(v, (v-1)/2)
+	}
+	return g
+}
+
+// Caterpillar returns a spine path of s vertices with legs pendant leaves
+// attached to every spine vertex. Spine vertices are 0..s−1; the legs of
+// spine vertex i are s+i·legs .. s+(i+1)·legs−1.
+func Caterpillar(s, legs int) *Graph {
+	g := New(s + s*legs)
+	for v := 0; v+1 < s; v++ {
+		_ = g.AddEdge(v, v+1)
+	}
+	for i := 0; i < s; i++ {
+		for j := 0; j < legs; j++ {
+			_ = g.AddEdge(i, s+i*legs+j)
+		}
+	}
+	return g
+}
+
+// MustEdge returns the edge {u, v} of g, panicking if absent — a test and
+// example helper for statically-known edges.
+func (g *Graph) MustEdge(u, v int) Edge {
+	if !g.HasEdge(u, v) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) not present", u, v))
+	}
+	return NewEdge(u, v)
+}

@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBarabasiAlbertBasics(t *testing.T) {
+	g := BarabasiAlbert(50, 2, 7)
+	if g.NumVertices() != 50 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.HasIsolatedVertex() {
+		t.Error("BA graphs must have no isolated vertices")
+	}
+	if !g.IsConnected() {
+		t.Error("BA graphs grown from a clique are connected")
+	}
+	// Scale-free signature: max degree well above the attachment rate.
+	if g.MaxDegree() < 5 {
+		t.Errorf("max degree %d suspiciously small for a hub-forming process", g.MaxDegree())
+	}
+	// Determinism.
+	h := BarabasiAlbert(50, 2, 7)
+	if h.NumEdges() != g.NumEdges() {
+		t.Error("same seed must reproduce")
+	}
+}
+
+func TestBarabasiAlbertDegenerateParams(t *testing.T) {
+	g := BarabasiAlbert(1, 0, 1) // clamped to attach=1, n=2
+	if g.NumVertices() < 2 {
+		t.Errorf("n = %d, want clamped >= 2", g.NumVertices())
+	}
+	if g.HasIsolatedVertex() {
+		t.Error("clamped BA graph must still cover all vertices")
+	}
+}
+
+func TestWattsStrogatzBasics(t *testing.T) {
+	g := WattsStrogatz(40, 4, 0.1, 3)
+	if g.NumVertices() != 40 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.HasIsolatedVertex() {
+		t.Error("WS graphs must have no isolated vertices")
+	}
+	// p=0: pure ring lattice, 2-regular-per-side.
+	lattice := WattsStrogatz(20, 4, 0, 1)
+	if ok, d := lattice.IsRegular(); !ok || d != 4 {
+		t.Errorf("p=0 lattice should be 4-regular, got (%v,%d)", ok, d)
+	}
+	if lattice.NumEdges() != 40 {
+		t.Errorf("lattice edges = %d, want 40", lattice.NumEdges())
+	}
+}
+
+func TestWattsStrogatzClampsParams(t *testing.T) {
+	g := WattsStrogatz(3, 5, 0.5, 1) // k clamped even, n clamped > k
+	if g.NumVertices() <= 5 {
+		t.Errorf("n = %d, want clamped above k", g.NumVertices())
+	}
+	odd := WattsStrogatz(20, 3, 0, 1) // k -> 4
+	if ok, d := odd.IsRegular(); !ok || d != 4 {
+		t.Errorf("odd k should clamp to 4, got (%v,%d)", ok, d)
+	}
+}
+
+// Property: both topology generators always produce simple graphs without
+// isolated vertices (the precondition of the Tuple model).
+func TestPropertyTopologiesWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		ba := BarabasiAlbert(10+int(uint64(seed)%30), 1+int(uint64(seed)%3), seed)
+		ws := WattsStrogatz(10+int(uint64(seed)%30), 2+2*int(uint64(seed)%2), 0.3, seed)
+		for _, g := range []*Graph{ba, ws} {
+			if g.HasIsolatedVertex() {
+				return false
+			}
+			// Simplicity is structural (AddEdge rejects duplicates), but
+			// re-verify the handshake identity as a cheap corruption check.
+			sum := 0
+			for v := 0; v < g.NumVertices(); v++ {
+				sum += g.Degree(v)
+			}
+			if sum != 2*g.NumEdges() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+package graph
+
+import "sort"
+
+// Vertex sets are represented as sorted, duplicate-free []int slices
+// throughout the library. The helpers below normalize and combine them.
+
+// NormalizeSet returns a sorted, duplicate-free copy of vs.
+func NormalizeSet(vs []int) []int {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]int, len(vs))
+	copy(out, vs)
+	sort.Ints(out)
+	j := 0
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[j] {
+			j++
+			out[j] = out[i]
+		}
+	}
+	return out[:j+1]
+}
+
+// SetContains reports whether sorted set vs contains v.
+func SetContains(vs []int, v int) bool {
+	i := sort.SearchInts(vs, v)
+	return i < len(vs) && vs[i] == v
+}
+
+// SetComplement returns the sorted complement of sorted set vs within 0..n-1.
+func SetComplement(vs []int, n int) []int {
+	member := make([]bool, n)
+	for _, v := range vs {
+		if v >= 0 && v < n {
+			member[v] = true
+		}
+	}
+	out := make([]int, 0, n-len(vs))
+	for v := 0; v < n; v++ {
+		if !member[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SetsEqual reports whether two sorted sets hold the same elements.
+func SetsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SetUnion returns the sorted union of two sorted sets.
+func SetUnion(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// SetIntersection returns the sorted intersection of two sorted sets.
+func SetIntersection(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// SetDifference returns the sorted elements of a not present in b.
+func SetDifference(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) {
+		switch {
+		case j >= len(b) || a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// IsPartition reports whether sorted sets a and b partition 0..n-1.
+func IsPartition(a, b []int, n int) bool {
+	if len(a)+len(b) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range a {
+		if v < 0 || v >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	for _, v := range b {
+		if v < 0 || v >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

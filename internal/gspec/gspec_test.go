@@ -1,0 +1,125 @@
+package gspec_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/defender-game/defender/internal/gspec"
+)
+
+func TestParseGraphSpecGenerators(t *testing.T) {
+	tests := []struct {
+		spec  string
+		wantN int
+		wantM int
+	}{
+		{"path:5", 5, 4},
+		{"cycle:6", 6, 6},
+		{"complete:4", 4, 6},
+		{"star:5", 5, 4},
+		{"kbip:2,3", 5, 6},
+		{"grid:2,3", 6, 7},
+		{"hypercube:3", 8, 12},
+		{"petersen", 10, 15},
+		{"tree:9", 9, 8},
+		{"tree:9,7", 9, 8},
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec, func(t *testing.T) {
+			g, err := gspec.Parse(tt.spec)
+			if err != nil {
+				t.Fatalf("gspec.Parse(%q): %v", tt.spec, err)
+			}
+			if g.NumVertices() != tt.wantN || g.NumEdges() != tt.wantM {
+				t.Errorf("got n=%d m=%d, want n=%d m=%d",
+					g.NumVertices(), g.NumEdges(), tt.wantN, tt.wantM)
+			}
+		})
+	}
+}
+
+func TestParseGraphSpecRandomFamilies(t *testing.T) {
+	g, err := gspec.Parse("gnp:10,0.5,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 10 {
+		t.Errorf("gnp n = %d", g.NumVertices())
+	}
+	same, err := gspec.Parse("gnp:10,0.5,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.NumEdges() != g.NumEdges() {
+		t.Error("same seed must reproduce")
+	}
+	b, err := gspec.Parse("bip:4,5,0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumVertices() != 9 || !b.IsBipartite() {
+		t.Error("bip spec wrong")
+	}
+	c, err := gspec.Parse("conn:12,0.2,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsConnected() {
+		t.Error("conn spec must be connected")
+	}
+}
+
+func TestParseGraphSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.edges")
+	if err := os.WriteFile(path, []byte("n 3\n0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := gspec.Parse("@" + path)
+	if err != nil {
+		t.Fatalf("file spec: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Errorf("file graph: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if _, err := gspec.Parse("@" + filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestParseGraphSpecErrors(t *testing.T) {
+	bad := []string{
+		"", "unknown:3", "path", "path:x", "kbip:2", "grid:3",
+		"gnp:10", "gnp:x,0.5", "gnp:10,y", "bip:1,2", "conn:5",
+	}
+	for _, spec := range bad {
+		if _, err := gspec.Parse(spec); err == nil {
+			t.Errorf("gspec.Parse(%q) should fail", spec)
+		}
+	}
+}
+
+func TestParseGraphSpecGraph6(t *testing.T) {
+	g, err := gspec.Parse("g6:Bw")
+	if err != nil {
+		t.Fatalf("g6 spec: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Errorf("g6:Bw decoded to n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if _, err := gspec.Parse("g6:"); err == nil {
+		t.Error("empty graph6 must fail")
+	}
+}
+
+func TestParseGraphSpecBadSeedDefaults(t *testing.T) {
+	// A malformed trailing seed falls back to 1 rather than erroring.
+	g, err := gspec.Parse("tree:6,notanumber")
+	if err != nil {
+		t.Fatalf("gspec.Parse: %v", err)
+	}
+	if g.NumVertices() != 6 {
+		t.Errorf("n = %d", g.NumVertices())
+	}
+}

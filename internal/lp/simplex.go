@@ -1,0 +1,358 @@
+// Package lp implements an exact linear-programming solver over rationals
+// (math/big.Rat) and, on top of it, a solver for two-player zero-sum matrix
+// games. The library uses it as an *independent oracle* for equilibrium
+// values: for ν = 1 attacker the Tuple model is a constant-sum game, so
+// every Nash equilibrium attains the same minimax value — which the LP
+// computes from the payoff matrix alone, with no knowledge of matching
+// structure. The experiments cross-check k/|EC| against this oracle.
+//
+// The solver is a dense tableau simplex with Bland's anti-cycling rule
+// (guaranteeing termination) and a single-artificial-variable phase one,
+// exact at every pivot — no floating point anywhere. It is meant for the
+// small, structured programs arising from games — hundreds of rows and
+// columns — not for industrial LPs.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Status reports the outcome of an LP solve.
+type Status int
+
+const (
+	// Optimal: an optimal basic feasible solution was found.
+	Optimal Status = iota + 1
+	// Unbounded: the objective is unbounded above on the feasible region.
+	Unbounded
+	// Infeasible: the constraints admit no solution.
+	Infeasible
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Unbounded:
+		return "unbounded"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// ErrBadProgram is returned for malformed inputs (dimension mismatches,
+// nil coefficients).
+var ErrBadProgram = errors.New("lp: malformed linear program")
+
+// Solution is the result of solving a standard-form program.
+type Solution struct {
+	Status Status
+	// Value is the optimal objective (nil unless Status == Optimal).
+	Value *big.Rat
+	// X is the optimal assignment to the n structural variables.
+	X []*big.Rat
+	// Dual holds the dual values (shadow prices) of the m constraints:
+	// for max{c·x : Ax <= b, x >= 0} these are optimal y >= 0 with
+	// A^T y >= c and b·y = c·x (strong duality, asserted in the tests).
+	Dual []*big.Rat
+}
+
+// Maximize solves
+//
+//	max  c·x   subject to   A x <= b,   x >= 0
+//
+// exactly. b may have negative entries; a phase-one start is used when
+// needed. Inputs are not mutated.
+func Maximize(c []*big.Rat, a [][]*big.Rat, b []*big.Rat) (Solution, error) {
+	n := len(c)
+	m := len(a)
+	if len(b) != m {
+		return Solution{}, fmt.Errorf("%w: %d constraint rows but %d bounds", ErrBadProgram, m, len(b))
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return Solution{}, fmt.Errorf("%w: row %d has %d coefficients, want %d", ErrBadProgram, i, len(row), n)
+		}
+	}
+	t, err := newTableau(c, a, b)
+	if err != nil {
+		return Solution{}, err
+	}
+	if t.needsPhaseOne() && t.phaseOne() == Infeasible {
+		return Solution{Status: Infeasible}, nil
+	}
+	if t.optimize() == Unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+	return t.extract(), nil
+}
+
+// Minimize solves min c·x s.t. Ax <= b, x >= 0 by negating the objective.
+func Minimize(c []*big.Rat, a [][]*big.Rat, b []*big.Rat) (Solution, error) {
+	neg := make([]*big.Rat, len(c))
+	for j, cj := range c {
+		if cj == nil {
+			return Solution{}, fmt.Errorf("%w: nil objective coefficient %d", ErrBadProgram, j)
+		}
+		neg[j] = new(big.Rat).Neg(cj)
+	}
+	sol, err := Maximize(neg, a, b)
+	if err != nil || sol.Status != Optimal {
+		return sol, err
+	}
+	sol.Value.Neg(sol.Value)
+	for i := range sol.Dual {
+		sol.Dual[i].Neg(sol.Dual[i])
+	}
+	return sol, nil
+}
+
+// tableau is the dense simplex tableau:
+//
+//	columns: [ x_0..x_{n-1} | s_0..s_{m-1} | a0 | rhs ]
+//	rows:    m constraint rows, then the objective row.
+//
+// Column n+m is the single artificial variable used by phase one; it is
+// never allowed to re-enter during phase two (its reduced cost is kept
+// positive). basis[i] is the variable index basic in row i.
+type tableau struct {
+	n, m  int
+	cells [][]*big.Rat // (m+1) x (n+m+2)
+	basis []int
+	objC  []*big.Rat // original objective, used to rebuild after phase one
+}
+
+func (t *tableau) width() int { return t.n + t.m + 2 }
+func (t *tableau) art() int   { return t.n + t.m }
+func (t *tableau) rhs() int   { return t.n + t.m + 1 }
+
+func newTableau(c []*big.Rat, a [][]*big.Rat, b []*big.Rat) (*tableau, error) {
+	n, m := len(c), len(a)
+	t := &tableau{n: n, m: m, basis: make([]int, m), objC: make([]*big.Rat, n)}
+	for j, cj := range c {
+		if cj == nil {
+			return nil, fmt.Errorf("%w: nil objective coefficient %d", ErrBadProgram, j)
+		}
+		t.objC[j] = new(big.Rat).Set(cj)
+	}
+	t.cells = make([][]*big.Rat, m+1)
+	for i := 0; i <= m; i++ {
+		row := make([]*big.Rat, t.width())
+		for j := range row {
+			row[j] = new(big.Rat)
+		}
+		t.cells[i] = row
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if a[i][j] == nil {
+				return nil, fmt.Errorf("%w: nil coefficient at (%d,%d)", ErrBadProgram, i, j)
+			}
+			t.cells[i][j].Set(a[i][j])
+		}
+		t.cells[i][n+i].SetInt64(1)      // slack
+		t.cells[i][t.art()].SetInt64(-1) // artificial column
+		if b[i] == nil {
+			return nil, fmt.Errorf("%w: nil bound %d", ErrBadProgram, i)
+		}
+		t.cells[i][t.rhs()].Set(b[i])
+		t.basis[i] = n + i
+	}
+	t.loadObjective()
+	return t, nil
+}
+
+// loadObjective writes the phase-two objective into the bottom row as
+// negated coefficients (negative entry = improving column) and prices out
+// the current basis. The artificial column gets a prohibitively positive
+// reduced cost so phase two never re-admits it.
+func (t *tableau) loadObjective() {
+	obj := t.cells[t.m]
+	for j := range obj {
+		obj[j].SetInt64(0)
+	}
+	for j := 0; j < t.n; j++ {
+		obj[j].Neg(t.objC[j])
+	}
+	obj[t.art()].SetInt64(1)
+	t.priceOutBasis()
+}
+
+// loadPhaseOneObjective sets the objective to "maximize −a0".
+func (t *tableau) loadPhaseOneObjective() {
+	obj := t.cells[t.m]
+	for j := range obj {
+		obj[j].SetInt64(0)
+	}
+	obj[t.art()].SetInt64(1)
+	t.priceOutBasis()
+}
+
+// priceOutBasis eliminates basic-variable coefficients from the objective
+// row so reduced costs are consistent with the current basis.
+func (t *tableau) priceOutBasis() {
+	obj := t.cells[t.m]
+	for i := 0; i < t.m; i++ {
+		bj := t.basis[i]
+		if obj[bj].Sign() == 0 {
+			continue
+		}
+		factor := new(big.Rat).Set(obj[bj])
+		row := t.cells[i]
+		for j := range obj {
+			if row[j].Sign() != 0 {
+				prod := new(big.Rat).Mul(factor, row[j])
+				obj[j].Sub(obj[j], prod)
+			}
+		}
+	}
+}
+
+// needsPhaseOne reports whether any right-hand side is negative.
+func (t *tableau) needsPhaseOne() bool {
+	for i := 0; i < t.m; i++ {
+		if t.cells[i][t.rhs()].Sign() < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// phaseOne makes the basis feasible with the single-artificial-variable
+// method: pivot a0 into the most-violated row (making all rhs
+// nonnegative), then minimize a0 with Bland's rule. Feasible iff a0
+// returns to zero; a0 is then driven out of the basis and banned.
+func (t *tableau) phaseOne() Status {
+	// Most negative rhs row.
+	worst := 0
+	for i := 1; i < t.m; i++ {
+		if t.cells[i][t.rhs()].Cmp(t.cells[worst][t.rhs()]) < 0 {
+			worst = i
+		}
+	}
+	t.pivot(worst, t.art())
+	t.loadPhaseOneObjective()
+	if t.optimize() == Unbounded {
+		// Cannot happen: the phase-one objective −a0 is bounded by 0.
+		return Infeasible
+	}
+	// a0's optimal value: locate it in the basis.
+	for i, bj := range t.basis {
+		if bj != t.art() {
+			continue
+		}
+		if t.cells[i][t.rhs()].Sign() != 0 {
+			return Infeasible
+		}
+		// Degenerate: a0 basic at zero. Pivot it out through any nonzero
+		// structural/slack coefficient; a fully zero row is redundant and
+		// may keep the harmless zero-valued artificial.
+		for j := 0; j < t.n+t.m; j++ {
+			if t.cells[i][j].Sign() != 0 {
+				t.pivot(i, j)
+				break
+			}
+		}
+		break
+	}
+	t.loadObjective()
+	return Optimal
+}
+
+// optimize runs simplex with Bland's rule from a feasible basis.
+func (t *tableau) optimize() Status {
+	obj := t.cells[t.m]
+	for {
+		// Entering variable: lowest index with negative reduced cost. The
+		// artificial column may never (re-)enter: in phase one it starts
+		// basic and only leaves; in phase two it must stay at zero.
+		pc := -1
+		for j := 0; j < t.art(); j++ {
+			if obj[j].Sign() < 0 {
+				pc = j
+				break
+			}
+		}
+		if pc == -1 {
+			return Optimal
+		}
+		// Leaving variable: minimum ratio, ties by lowest basis index.
+		pr := -1
+		var best *big.Rat
+		for i := 0; i < t.m; i++ {
+			if t.cells[i][pc].Sign() <= 0 {
+				continue
+			}
+			ratio := new(big.Rat).Quo(t.cells[i][t.rhs()], t.cells[i][pc])
+			if pr == -1 {
+				pr, best = i, ratio
+				continue
+			}
+			if c := ratio.Cmp(best); c < 0 || (c == 0 && t.basis[i] < t.basis[pr]) {
+				pr, best = i, ratio
+			}
+		}
+		if pr == -1 {
+			return Unbounded
+		}
+		t.pivot(pr, pc)
+	}
+}
+
+// pivot performs a Gauss–Jordan pivot on (pr, pc) and updates the basis.
+func (t *tableau) pivot(pr, pc int) {
+	prow := t.cells[pr]
+	inv := new(big.Rat).Inv(prow[pc])
+	for j := range prow {
+		if prow[j].Sign() != 0 {
+			prow[j].Mul(prow[j], inv)
+		}
+	}
+	for i := 0; i <= t.m; i++ {
+		if i == pr {
+			continue
+		}
+		row := t.cells[i]
+		if row[pc].Sign() == 0 {
+			continue
+		}
+		f := new(big.Rat).Set(row[pc])
+		for j := range row {
+			if prow[j].Sign() != 0 {
+				prod := new(big.Rat).Mul(f, prow[j])
+				row[j].Sub(row[j], prod)
+			}
+		}
+	}
+	t.basis[pr] = pc
+}
+
+// extract reads the optimal solution, objective value and duals.
+func (t *tableau) extract() Solution {
+	x := make([]*big.Rat, t.n)
+	for j := range x {
+		x[j] = new(big.Rat)
+	}
+	for i, bj := range t.basis {
+		if bj < t.n {
+			x[bj].Set(t.cells[i][t.rhs()])
+		}
+	}
+	value := new(big.Rat)
+	for j := 0; j < t.n; j++ {
+		prod := new(big.Rat).Mul(t.objC[j], x[j])
+		value.Add(value, prod)
+	}
+	// Duals: reduced costs of the slack columns at optimum.
+	dual := make([]*big.Rat, t.m)
+	obj := t.cells[t.m]
+	for i := 0; i < t.m; i++ {
+		dual[i] = new(big.Rat).Set(obj[t.n+i])
+	}
+	return Solution{Status: Optimal, Value: value, X: x, Dual: dual}
+}

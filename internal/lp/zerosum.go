@@ -1,0 +1,126 @@
+package lp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// GameSolution is an exact minimax solution of a two-player zero-sum
+// matrix game.
+type GameSolution struct {
+	// Value is the game value: the payoff the row player (maximizer) can
+	// guarantee and the column player (minimizer) can cap.
+	Value *big.Rat
+	// Row is the row player's optimal mixed strategy.
+	Row []*big.Rat
+	// Col is the column player's optimal mixed strategy.
+	Col []*big.Rat
+}
+
+// SolveZeroSum computes the exact value and optimal mixed strategies of
+// the zero-sum game with payoff matrix m, where m[i][j] is the payoff to
+// the ROW player (the maximizer) when row i meets column j.
+//
+// The game is reduced to a standard-form LP by the classical positive-
+// shift construction: with M' = M + s entrywise positive, the column
+// player's program  max Σu  s.t.  M'u <= 1, u >= 0  has optimum 1/V', the
+// optimal u rescales to the column strategy, and the LP duals rescale to
+// the row strategy. Everything is exact; the minimax guarantees
+//
+//	min_j (row · M)_j = Value = max_i (M · col)_i
+//
+// hold as rational identities (asserted by this package's tests).
+func SolveZeroSum(m [][]*big.Rat) (GameSolution, error) {
+	rows := len(m)
+	if rows == 0 {
+		return GameSolution{}, fmt.Errorf("%w: empty payoff matrix", ErrBadProgram)
+	}
+	cols := len(m[0])
+	if cols == 0 {
+		return GameSolution{}, fmt.Errorf("%w: empty payoff row", ErrBadProgram)
+	}
+	for i, row := range m {
+		if len(row) != cols {
+			return GameSolution{}, fmt.Errorf("%w: ragged payoff matrix at row %d", ErrBadProgram, i)
+		}
+		for j, e := range row {
+			if e == nil {
+				return GameSolution{}, fmt.Errorf("%w: nil payoff at (%d,%d)", ErrBadProgram, i, j)
+			}
+		}
+	}
+
+	// The reduction below uses the rows as LP constraints, so the tableau
+	// is Θ(rows · (rows + cols)). When the row side is the big one (e.g.
+	// C(m,k) defender tuples against n vertices), solve the transposed
+	// game instead: negating and transposing swaps the players, so
+	// value(M) = −value(−Mᵀ) with the strategies exchanged.
+	if rows > cols {
+		nt := make([][]*big.Rat, cols)
+		for j := 0; j < cols; j++ {
+			nt[j] = make([]*big.Rat, rows)
+			for i := 0; i < rows; i++ {
+				nt[j][i] = new(big.Rat).Neg(m[i][j])
+			}
+		}
+		gs, err := SolveZeroSum(nt)
+		if err != nil {
+			return GameSolution{}, err
+		}
+		return GameSolution{
+			Value: gs.Value.Neg(gs.Value),
+			Row:   gs.Col,
+			Col:   gs.Row,
+		}, nil
+	}
+
+	// Shift all payoffs to be >= 1 so the game value is strictly positive.
+	shift := new(big.Rat).Set(m[0][0])
+	for _, row := range m {
+		for _, e := range row {
+			if e.Cmp(shift) < 0 {
+				shift.Set(e)
+			}
+		}
+	}
+	one := big.NewRat(1, 1)
+	shift.Sub(one, shift) // s = 1 − min entry; M' = M + s >= 1
+
+	a := make([][]*big.Rat, rows)
+	for i := range a {
+		a[i] = make([]*big.Rat, cols)
+		for j := range a[i] {
+			a[i][j] = new(big.Rat).Add(m[i][j], shift)
+		}
+	}
+	c := make([]*big.Rat, cols)
+	for j := range c {
+		c[j] = big.NewRat(1, 1)
+	}
+	b := make([]*big.Rat, rows)
+	for i := range b {
+		b[i] = big.NewRat(1, 1)
+	}
+
+	sol, err := Maximize(c, a, b)
+	if err != nil {
+		return GameSolution{}, err
+	}
+	if sol.Status != Optimal || sol.Value.Sign() <= 0 {
+		// Cannot happen for a finite positive matrix: the feasible region
+		// is a nonempty polytope with positive optimum.
+		return GameSolution{}, fmt.Errorf("lp: zero-sum reduction returned %v", sol.Status)
+	}
+	shiftedValue := new(big.Rat).Inv(sol.Value) // V' = 1/Σu
+
+	col := make([]*big.Rat, cols)
+	for j := range col {
+		col[j] = new(big.Rat).Mul(sol.X[j], shiftedValue)
+	}
+	row := make([]*big.Rat, rows)
+	for i := range row {
+		row[i] = new(big.Rat).Mul(sol.Dual[i], shiftedValue)
+	}
+	value := new(big.Rat).Sub(shiftedValue, shift)
+	return GameSolution{Value: value, Row: row, Col: col}, nil
+}

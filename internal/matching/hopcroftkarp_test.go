@@ -1,0 +1,158 @@
+package matching
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/defender-game/defender/internal/graph"
+)
+
+func maxBipartite(t *testing.T, g *graph.Graph) []int {
+	t.Helper()
+	mate, err := MaximumBipartite(g)
+	if err != nil {
+		t.Fatalf("MaximumBipartite: %v", err)
+	}
+	if err := Verify(g, mate); err != nil {
+		t.Fatalf("invalid matching: %v", err)
+	}
+	return mate
+}
+
+func TestHopcroftKarpKnownSizes(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"single edge", graph.Path(2), 1},
+		{"path5", graph.Path(5), 2},
+		{"path6", graph.Path(6), 3},
+		{"even cycle", graph.Cycle(8), 4},
+		{"star", graph.Star(6), 1},
+		{"K34", graph.CompleteBipartite(3, 4), 3},
+		{"K44", graph.CompleteBipartite(4, 4), 4},
+		{"grid34", graph.Grid(3, 4), 6},
+		{"hypercube3", graph.Hypercube(3), 4},
+		{"disjoint edges", graph.PerfectMatchingGraph(10), 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			mate := maxBipartite(t, tt.g)
+			if got := Size(mate); got != tt.want {
+				t.Errorf("matching size = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestHopcroftKarpRejectsOddCycle(t *testing.T) {
+	if _, err := MaximumBipartite(graph.Cycle(5)); !errors.Is(err, graph.ErrNotBipartite) {
+		t.Errorf("err = %v, want ErrNotBipartite", err)
+	}
+}
+
+func TestHopcroftKarpRejectsBadSideArrays(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := HopcroftKarp(g, []int{0, 1}); err == nil {
+		t.Error("short side array must fail")
+	}
+	if _, err := HopcroftKarp(g, []int{0, 0, 1}); err == nil {
+		t.Error("monochromatic edge must fail")
+	}
+	if _, err := HopcroftKarp(g, []int{0, 2, 0}); err == nil {
+		t.Error("side value outside {0,1} must fail")
+	}
+}
+
+func TestHopcroftKarpMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := 1+rng.Intn(4), 1+rng.Intn(4)
+		g := graph.RandomBipartite(a, b, 0.5, seed)
+		if g.NumEdges() > 16 {
+			continue
+		}
+		mate := maxBipartite(t, g)
+		if got, want := Size(mate), bruteForceMaximumMatchingSize(g); got != want {
+			t.Fatalf("seed %d: HK size %d, brute force %d\n%s", seed, got, want, g.EncodeString())
+		}
+	}
+}
+
+func TestKonigVertexCover(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path5", graph.Path(5)},
+		{"even cycle", graph.Cycle(10)},
+		{"star", graph.Star(9)},
+		{"K35", graph.CompleteBipartite(3, 5)},
+		{"grid", graph.Grid(4, 4)},
+		{"tree", graph.RandomTree(20, 1)},
+		{"random bipartite", graph.RandomBipartite(10, 12, 0.3, 2)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			side, err := tt.g.Bipartition()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mate, err := HopcroftKarp(tt.g, side)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vc := KonigVertexCover(tt.g, side, mate)
+			// König: |VC| equals the maximum matching size.
+			if len(vc) != Size(mate) {
+				t.Errorf("|VC| = %d, matching size = %d", len(vc), Size(mate))
+			}
+			member := make(map[int]bool)
+			for _, v := range vc {
+				member[v] = true
+			}
+			for _, e := range tt.g.Edges() {
+				if !member[e.U] && !member[e.V] {
+					t.Fatalf("edge %v not covered", e)
+				}
+			}
+		})
+	}
+}
+
+// Property: on random bipartite graphs, the König construction always yields
+// a vertex cover of size equal to the maximum matching.
+func TestPropertyKonigDuality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomBipartite(1+rng.Intn(10), 1+rng.Intn(10), rng.Float64(), seed)
+		side, err := g.Bipartition()
+		if err != nil {
+			return false
+		}
+		mate, err := HopcroftKarp(g, side)
+		if err != nil {
+			return false
+		}
+		vc := KonigVertexCover(g, side, mate)
+		if len(vc) != Size(mate) {
+			return false
+		}
+		member := make(map[int]bool)
+		for _, v := range vc {
+			member[v] = true
+		}
+		for _, e := range g.Edges() {
+			if !member[e.U] && !member[e.V] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

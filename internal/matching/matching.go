@@ -1,0 +1,146 @@
+// Package matching implements the matching algorithms the equilibrium
+// constructions depend on: Hopcroft–Karp maximum matching for bipartite
+// graphs (Theorem 5.1 of the paper computes a minimum vertex cover of a
+// bipartite graph in O(m sqrt n) this way), Edmonds' blossom algorithm for
+// maximum matching in general graphs (minimum edge covers, Corollary 3.2),
+// and Kuhn-style systems of distinct representatives used to decide the
+// VC-expander condition of Corollary 4.11 via Hall's theorem.
+//
+// Matchings are exchanged in two forms: a mate array (mate[v] = partner of v
+// or -1) and an edge list. Both forms are normalized and validated by the
+// helpers in this file.
+package matching
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/defender-game/defender/internal/graph"
+)
+
+// ErrNotMatching is returned when an edge set is not a matching of the graph.
+var ErrNotMatching = errors.New("matching: edge set is not a matching")
+
+// Unmatched marks a vertex without a partner in a mate array.
+const Unmatched = -1
+
+// NewMateArray returns a mate array of length n with every vertex unmatched.
+func NewMateArray(n int) []int {
+	mate := make([]int, n)
+	for i := range mate {
+		mate[i] = Unmatched
+	}
+	return mate
+}
+
+// Size returns the number of edges in the matching encoded by mate.
+func Size(mate []int) int {
+	c := 0
+	for v, u := range mate {
+		if u != Unmatched && u > v {
+			c++
+		}
+	}
+	return c
+}
+
+// Edges converts a mate array into a normalized edge list.
+func Edges(mate []int) []graph.Edge {
+	var out []graph.Edge
+	for v, u := range mate {
+		if u != Unmatched && u > v {
+			out = append(out, graph.NewEdge(v, u))
+		}
+	}
+	return out
+}
+
+// FromEdges converts an edge list into a mate array for a graph on n
+// vertices. It returns ErrNotMatching if two edges share a vertex, and an
+// error if an endpoint is out of range or an edge is a self-loop.
+func FromEdges(n int, edges []graph.Edge) ([]int, error) {
+	mate := NewMateArray(n)
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("matching: edge %v out of range for n=%d", e, n)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("matching: self-loop %v", e)
+		}
+		if mate[e.U] != Unmatched || mate[e.V] != Unmatched {
+			return nil, fmt.Errorf("%w: %v shares a vertex with another edge", ErrNotMatching, e)
+		}
+		mate[e.U] = e.V
+		mate[e.V] = e.U
+	}
+	return mate, nil
+}
+
+// IsMatching reports whether edges is a matching of g: every edge belongs to
+// g and no two edges share an endpoint.
+func IsMatching(g *graph.Graph, edges []graph.Edge) bool {
+	used := make(map[int]bool, 2*len(edges))
+	for _, e := range edges {
+		if g.EdgeID(e) < 0 {
+			return false
+		}
+		if used[e.U] || used[e.V] {
+			return false
+		}
+		used[e.U] = true
+		used[e.V] = true
+	}
+	return true
+}
+
+// IsPerfect reports whether edges is a perfect matching of g.
+func IsPerfect(g *graph.Graph, edges []graph.Edge) bool {
+	return IsMatching(g, edges) && 2*len(edges) == g.NumVertices()
+}
+
+// Saturates reports whether every vertex of sorted set vs is matched in mate.
+func Saturates(mate []int, vs []int) bool {
+	for _, v := range vs {
+		if v < 0 || v >= len(mate) || mate[v] == Unmatched {
+			return false
+		}
+	}
+	return true
+}
+
+// Greedy returns a maximal (not necessarily maximum) matching of g, built by
+// scanning the edge list once. Useful as a fast 2-approximation and as a
+// warm start for the exact algorithms.
+func Greedy(g *graph.Graph) []int {
+	mate := NewMateArray(g.NumVertices())
+	for _, e := range g.Edges() {
+		if mate[e.U] == Unmatched && mate[e.V] == Unmatched {
+			mate[e.U] = e.V
+			mate[e.V] = e.U
+		}
+	}
+	return mate
+}
+
+// Verify checks that mate is a well-formed symmetric mate array over edges
+// of g. It is used by tests and by debug assertions.
+func Verify(g *graph.Graph, mate []int) error {
+	if len(mate) != g.NumVertices() {
+		return fmt.Errorf("matching: mate array length %d, want %d", len(mate), g.NumVertices())
+	}
+	for v, u := range mate {
+		if u == Unmatched {
+			continue
+		}
+		if u < 0 || u >= len(mate) {
+			return fmt.Errorf("matching: mate[%d]=%d out of range", v, u)
+		}
+		if mate[u] != v {
+			return fmt.Errorf("matching: mate not symmetric at %d<->%d", v, u)
+		}
+		if !g.HasEdge(v, u) {
+			return fmt.Errorf("matching: pair (%d,%d) is not an edge", v, u)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package defender
+
+import (
+	"math/big"
+
+	"github.com/defender-game/defender/internal/core"
+	"github.com/defender-game/defender/internal/dynamics"
+	"github.com/defender-game/defender/internal/game"
+	"github.com/defender-game/defender/internal/graph"
+)
+
+// This file exposes the independent validation machinery: the LP minimax
+// oracle, the learning dynamics, profile serialization and the
+// quality-of-protection metrics.
+
+// Learning-dynamics result types.
+type (
+	// FictitiousPlayResult carries exact rational value bounds from
+	// integer play counts.
+	FictitiousPlayResult = dynamics.FPResult
+	// MultiplicativeWeightsResult carries no-regret average strategies
+	// and float value bounds.
+	MultiplicativeWeightsResult = dynamics.MWResult
+)
+
+// ErrValueTooLarge: the tuple space C(m,k) exceeds the LP oracle's
+// enumeration budget.
+var ErrValueTooLarge = core.ErrValueTooLarge
+
+// GameValue computes the exact minimax value of Π_k(G) with one attacker —
+// the probability an optimal defender catches an optimal attacker — by
+// enumerating all C(m,k) defender tuples and solving the zero-sum matrix
+// game with an exact rational simplex. It is structure-free: for ν = 1 the
+// game is constant-sum, so this value must (and, per the E10 experiment,
+// does) agree with every structural equilibrium's prediction.
+func GameValue(g *Graph, k int) (*big.Rat, error) {
+	value, _, _, err := core.GameValue(g, k)
+	return value, err
+}
+
+// MaxminGuarantee returns the best expected catch count a defender can
+// guarantee against ν fully adversarial attackers: ν · GameValue(g, k).
+// k-matching equilibria attain it exactly.
+func MaxminGuarantee(g *Graph, attackers, k int) (*big.Rat, error) {
+	return core.MaxminGuarantee(g, attackers, k)
+}
+
+// FictitiousPlay runs deterministic simultaneous fictitious play on the
+// Edge model Π_1(G) with one attacker, returning exact rational bounds
+// that bracket the minimax value (Robinson's theorem).
+func FictitiousPlay(g *Graph, rounds int) (FictitiousPlayResult, error) {
+	return dynamics.FictitiousPlay(g, rounds)
+}
+
+// MultiplicativeWeights runs the Hedge algorithm for both players of
+// Π_1(G) with one attacker; pass eta <= 0 for the standard step size.
+func MultiplicativeWeights(g *Graph, rounds int, eta float64) (MultiplicativeWeightsResult, error) {
+	return dynamics.MultiplicativeWeights(g, rounds, eta)
+}
+
+// RegretMatching runs Hart & Mas-Colell regret-matching dynamics on the
+// Edge model Π_1(G) with one attacker (randomized sampled play; empirical
+// averages converge to the minimax value).
+func RegretMatching(g *Graph, rounds int, seed int64) (MultiplicativeWeightsResult, error) {
+	return dynamics.RegretMatching(g, rounds, seed)
+}
+
+// FictitiousPlayTuple runs fictitious play on the full Tuple model Π_k(G)
+// with one attacker, using an exact integer branch-and-bound defender best
+// response; the returned bounds bracket the k-power minimax value.
+func FictitiousPlayTuple(g *Graph, k, rounds int) (FictitiousPlayResult, error) {
+	return dynamics.FictitiousPlayTuple(g, k, rounds)
+}
+
+// SolveAny computes SOME verified mixed Nash equilibrium of Π_k(G) for any
+// graph: k-matching where the Cor 4.11 partition exists, perfect-matching
+// or regular profiles where those apply, and otherwise the exact
+// LP-minimax pair of the ν=1 constant-sum game lifted to ν symmetric
+// attackers. Returns the family used: "k-matching", "perfect-matching",
+// "regular" or "lp-minimax".
+func SolveAny(g *Graph, attackers, k int) (TupleEquilibrium, string, error) {
+	return core.SolveAny(g, attackers, k)
+}
+
+// CyclePathNE constructs the rotation mixed equilibrium of the Path model
+// on a cycle: the defender cleans a uniformly random k-edge arc, attackers
+// spread uniformly; gain (k+1)·ν/n. Contiguity costs the defender — this
+// is strictly below the Tuple-model gain for k >= 2 (see the tests).
+func CyclePathNE(g *Graph, attackers, k int) (TupleEquilibrium, error) {
+	return core.CyclePathNE(g, attackers, k)
+}
+
+// VerifyPathNE checks a profile against the PATH model's equilibrium
+// conditions (defender deviations range over k-edge simple paths only).
+func VerifyPathNE(gm *Game, mp MixedProfile) error {
+	return core.VerifyPathNE(gm, mp)
+}
+
+// WeightedDamageValue extends the model to valued targets: hosts carry
+// nonnegative weights and the defender minimizes the worst-case expected
+// damage max_v w(v)·(1 − P(Hit(v))). Returns the exact minimax damage and
+// the optimal defense distribution over k-tuples (LP oracle; subject to
+// the C(m,k) enumeration limit).
+func WeightedDamageValue(g *Graph, k int, weights []*big.Rat) (*big.Rat, TupleStrategy, error) {
+	return core.WeightedDamageValue(g, k, weights)
+}
+
+// Regret quantifies each player's exact deviation incentive in a profile;
+// a profile is a Nash equilibrium iff every regret is zero.
+type Regret = core.Regret
+
+// ComputeRegret evaluates the exact deviation incentives of every player —
+// the quantitative refinement of VerifyNE.
+func ComputeRegret(gm *Game, mp MixedProfile) (Regret, error) {
+	return core.ComputeRegret(gm, mp)
+}
+
+// EncodeProfile serializes a validated mixed configuration to JSON with
+// exact rational probability strings (see internal/game for the schema).
+func EncodeProfile(gm *Game, mp MixedProfile) ([]byte, error) {
+	return gm.EncodeProfile(mp)
+}
+
+// DecodeProfile parses a JSON profile against graph g, reconstructing and
+// validating the game instance and mixed configuration.
+func DecodeProfile(g *graph.Graph, data []byte) (*Game, MixedProfile, error) {
+	return game.DecodeProfile(g, data)
+}

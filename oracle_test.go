@@ -1,0 +1,172 @@
+package defender_test
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	defender "github.com/defender-game/defender"
+)
+
+func TestGameValueFacade(t *testing.T) {
+	// C5 at k=1: the regular-graph equilibrium value 2/5, via the LP.
+	value, err := defender.GameValue(defender.CycleGraph(5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if value.Cmp(big.NewRat(2, 5)) != 0 {
+		t.Errorf("value = %v, want 2/5", value)
+	}
+	if _, err := defender.GameValue(defender.CompleteGraph(30), 6); !errors.Is(err, defender.ErrValueTooLarge) {
+		t.Errorf("err = %v, want ErrValueTooLarge", err)
+	}
+}
+
+func TestMaxminGuaranteeMatchesEquilibrium(t *testing.T) {
+	g := defender.GridGraph(2, 3)
+	ne, err := defender.Solve(g, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarantee, err := defender.MaxminGuarantee(g, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne.DefenderGain().Cmp(guarantee) != 0 {
+		t.Errorf("gain %v != guarantee %v", ne.DefenderGain(), guarantee)
+	}
+	// Metrics.
+	if ne.ProtectionRatio().Cmp(big.NewRat(2, 3)) != 0 {
+		t.Errorf("protection = %v, want 2/3", ne.ProtectionRatio())
+	}
+	sum := new(big.Rat).Add(ne.DefenderGain(), ne.Escapes())
+	if sum.Cmp(big.NewRat(5, 1)) != 0 {
+		t.Errorf("gain + escapes = %v, want ν", sum)
+	}
+}
+
+func TestLearningFacades(t *testing.T) {
+	g := defender.StarGraph(5)
+	want, err := defender.GameValue(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := defender.FictitiousPlay(g, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fp.Brackets(want) {
+		t.Errorf("FP bounds [%v, %v] miss %v", fp.LowerBound, fp.UpperBound, want)
+	}
+	mw, err := defender.MultiplicativeWeights(g, 4000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF, _ := want.Float64()
+	if mw.LowerBound > wantF+1e-9 || mw.UpperBound < wantF-1e-9 {
+		t.Errorf("MW bounds [%v, %v] miss %v", mw.LowerBound, mw.UpperBound, wantF)
+	}
+}
+
+func TestWeightedDamageFacade(t *testing.T) {
+	g := defender.CycleGraph(6)
+	weights := make([]*big.Rat, 6)
+	for i := range weights {
+		weights[i] = big.NewRat(1, 1)
+	}
+	damage, defense, err := defender.WeightedDamageValue(g, 2, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform weights: damage = 1 − value = 1 − 2/3 = 1/3.
+	if damage.Cmp(big.NewRat(1, 3)) != 0 {
+		t.Errorf("damage = %v, want 1/3", damage)
+	}
+	if defense.SupportSize() == 0 {
+		t.Error("empty defense support")
+	}
+}
+
+func TestFictitiousPlayTupleFacade(t *testing.T) {
+	g := defender.CycleGraph(5)
+	value, err := defender.GameValue(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := defender.FictitiousPlayTuple(g, 2, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Brackets(value) {
+		t.Errorf("bounds [%v, %v] miss %v", res.LowerBound, res.UpperBound, value)
+	}
+}
+
+func TestComputeRegretFacade(t *testing.T) {
+	g := defender.GridGraph(2, 3)
+	ne, err := defender.Solve(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := defender.ComputeRegret(ne.Game, ne.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.IsEquilibrium() {
+		t.Error("equilibrium has nonzero regret")
+	}
+}
+
+func TestSolveAnyFacade(t *testing.T) {
+	// Small-world graph: no structural family applies; the LP route must
+	// deliver a verified equilibrium.
+	g := defender.CycleGraph(7)
+	ne, family, err := defender.SolveAny(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if family != "lp-minimax" {
+		t.Errorf("family = %q", family)
+	}
+	if err := defender.VerifyNE(ne.Game, ne.Profile); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegretMatchingFacade(t *testing.T) {
+	g := defender.StarGraph(5)
+	res, err := defender.RegretMatching(g, 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := defender.GameValue(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF, _ := want.Float64()
+	if res.LowerBound > wantF+0.05 || res.UpperBound < wantF-0.05 {
+		t.Errorf("RM bounds [%.4f, %.4f] miss %.4f", res.LowerBound, res.UpperBound, wantF)
+	}
+}
+
+func TestProfileSerializationFacade(t *testing.T) {
+	g := defender.CycleGraph(6)
+	ne, err := defender.Solve(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := defender.EncodeProfile(ne.Game, ne.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, mp, err := defender.DecodeProfile(g, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := defender.VerifyNE(gm, mp); err != nil {
+		t.Errorf("round-tripped profile fails verification: %v", err)
+	}
+	if gm.K() != 2 || gm.Attackers() != 3 {
+		t.Error("instance parameters lost")
+	}
+}
