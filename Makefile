@@ -1,0 +1,34 @@
+# Development targets. CI (.github/workflows/ci.yml) runs the same gate:
+# build, vet, defenderlint, race tests, and a fuzz smoke of both parsers.
+
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: all build test lint vet race fuzz-smoke check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint = go vet + the project's own invariant analyzers (see
+# internal/analyzers and README "Static analysis & invariants").
+lint: vet
+	$(GO) run ./cmd/defenderlint ./...
+
+race:
+	$(GO) test -race ./...
+
+# fuzz-smoke gives each native fuzz target a short budget; crashes fail
+# the target and land a reproducer under testdata/fuzz.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeProfile -fuzztime=$(FUZZTIME) ./internal/game
+
+check: build lint race

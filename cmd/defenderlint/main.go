@@ -1,0 +1,144 @@
+// Command defenderlint runs the project's invariant analyzers (ratalias,
+// floateq, globalrand, nakedpanic) over packages of this module — a
+// multichecker in the style of golang.org/x/tools/go/analysis/multichecker,
+// built on the dependency-free framework in internal/analyzers/analysis.
+//
+// Usage:
+//
+//	go run ./cmd/defenderlint [-only names] [-list] [patterns]
+//
+// Patterns are package directories or the recursive pattern "./...". With
+// no pattern, "./..." is assumed. The exit status is 0 when the tree is
+// clean, 1 when diagnostics were reported, and 2 on a driver error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/defender-game/defender/internal/analyzers"
+	"github.com/defender-game/defender/internal/analyzers/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	flags := flag.NewFlagSet("defenderlint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	only := flags.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flags.Bool("list", false, "list registered analyzers and exit")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+	if *only != "" {
+		suite = filterAnalyzers(suite, *only)
+		if len(suite) == 0 {
+			fmt.Fprintf(stderr, "defenderlint: no analyzer matches -only=%s\n", *only)
+			return 2
+		}
+	}
+
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := Lint(".", patterns, suite)
+	if err != nil {
+		fmt.Fprintf(stderr, "defenderlint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Lint loads every package matched by patterns (relative to dir) and runs
+// the suite, returning all diagnostics sorted by position.
+func Lint(dir string, patterns []string, suite []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expand(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []analysis.Diagnostic
+	for _, pkgDir := range dirs {
+		pkg, err := loader.LoadDir(pkgDir)
+		if err != nil {
+			return nil, err
+		}
+		diags, err := analysis.Run(pkg, suite)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
+}
+
+// expand resolves package patterns to package directories.
+func expand(base string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Join(base, filepath.Clean(rest))
+			subs, err := analysis.PackageDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range subs {
+				add(d)
+			}
+			continue
+		}
+		add(filepath.Join(base, pat))
+	}
+	return dirs, nil
+}
+
+func filterAnalyzers(suite []*analysis.Analyzer, only string) []*analysis.Analyzer {
+	want := make(map[string]bool)
+	for _, name := range strings.Split(only, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	var out []*analysis.Analyzer
+	for _, a := range suite {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/defender-game/defender/internal/analyzers"
+)
+
+// TestRepositoryIsLintClean runs the full analyzer suite over the whole
+// module and requires zero diagnostics — the repo must stay clean under
+// its own invariant checks, so regressions fail `go test` directly rather
+// than only the CI lint step.
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	diags, err := Lint("../..", []string{"./..."}, analyzers.All())
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("repository has %d defenderlint findings; fix them or annotate with // lint:invariant where justified", len(diags))
+	}
+}
+
+// TestFilterAnalyzers keeps the -only flag honest.
+func TestFilterAnalyzers(t *testing.T) {
+	suite := analyzers.All()
+	got := filterAnalyzers(suite, "floateq, ratalias")
+	if len(got) != 2 {
+		t.Fatalf("filterAnalyzers returned %d analyzers, want 2", len(got))
+	}
+	names := map[string]bool{got[0].Name: true, got[1].Name: true}
+	if !names["floateq"] || !names["ratalias"] {
+		t.Fatalf("filterAnalyzers kept %v, want floateq and ratalias", names)
+	}
+	if got := filterAnalyzers(suite, "nosuch"); len(got) != 0 {
+		t.Fatalf("filterAnalyzers(nosuch) returned %d analyzers, want 0", len(got))
+	}
+}

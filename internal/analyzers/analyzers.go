@@ -1,0 +1,22 @@
+// Package analyzers registers the project's invariant checkers: the suite
+// run by cmd/defenderlint and the CI lint gate. See the individual analyzer
+// packages for the invariant each one encodes.
+package analyzers
+
+import (
+	"github.com/defender-game/defender/internal/analyzers/analysis"
+	"github.com/defender-game/defender/internal/analyzers/floateq"
+	"github.com/defender-game/defender/internal/analyzers/globalrand"
+	"github.com/defender-game/defender/internal/analyzers/nakedpanic"
+	"github.com/defender-game/defender/internal/analyzers/ratalias"
+)
+
+// All returns every registered analyzer, in deterministic order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		floateq.Analyzer,
+		globalrand.Analyzer,
+		nakedpanic.Analyzer,
+		ratalias.Analyzer,
+	}
+}

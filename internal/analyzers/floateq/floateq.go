@@ -1,0 +1,60 @@
+// Package floateq flags == and != between floating-point operands in
+// non-test code.
+//
+// Equilibrium conditions in this repo are verified in exact rational
+// arithmetic; wherever floats appear (learning dynamics, simulation
+// statistics) equality must be expressed either by converting to *big.Rat
+// or against an explicit, documented tolerance constant. A raw float
+// equality is almost always a latent bug: two mathematically equal
+// quantities computed along different paths need not compare equal in
+// IEEE-754.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/defender-game/defender/internal/analyzers/analysis"
+)
+
+// Analyzer flags floating-point equality comparisons outside tests.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between floating-point operands outside _test.go files",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			xt := pass.TypesInfo.Types[bin.X]
+			yt := pass.TypesInfo.Types[bin.Y]
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant expression, decided at compile time
+			}
+			pass.Reportf(bin.OpPos, "floating-point %s comparison; compare exact rationals or use a documented tolerance", bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether t's underlying type is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"github.com/defender-game/defender/internal/analyzers/analysistest"
+	"github.com/defender-game/defender/internal/analyzers/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", "example.com/a", floateq.Analyzer)
+}

@@ -1,0 +1,32 @@
+// Package a is the floateq fixture: float equality flagged, ordered
+// comparisons and integer equality not.
+package a
+
+const tol = 1e-9
+
+func flagged(x, y float64, f32 float32) bool {
+	if x == y { // want `floating-point == comparison`
+		return true
+	}
+	if x != 0 { // want `floating-point != comparison`
+		return false
+	}
+	var mixed float64
+	return f32 == 1.5 || mixed == y // want `floating-point == comparison` `floating-point == comparison`
+}
+
+func clean(x, y float64, n, m int) bool {
+	if n == m { // integers: ok
+		return true
+	}
+	if x < y || x >= y { // ordered comparisons: ok
+		return false
+	}
+	diff := x - y
+	if diff < 0 {
+		diff = -diff
+	}
+	const half = 0.5
+	_ = half == 0.25 // both constant, decided at compile time: ok
+	return diff <= tol
+}

@@ -1,0 +1,12 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"github.com/defender-game/defender/internal/analyzers/analysistest"
+	"github.com/defender-game/defender/internal/analyzers/globalrand"
+)
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", "example.com/a", globalrand.Analyzer)
+}

@@ -1,0 +1,18 @@
+// Package a is the globalrand fixture: global-source calls flagged,
+// injected *rand.Rand and constructors not.
+package a
+
+import "math/rand"
+
+func flagged() int {
+	rand.Seed(42)                  // want `global math/rand source`
+	x := rand.Intn(10)             // want `global math/rand source`
+	y := rand.Float64()            // want `global math/rand source`
+	rand.Shuffle(3, nil)           // want `global math/rand source`
+	return x + int(y) + rand.Int() // want `global math/rand source`
+}
+
+func clean(rng *rand.Rand) int {
+	local := rand.New(rand.NewSource(7)) // constructors: ok
+	return local.Intn(10) + rng.Intn(10) // method calls on injected rand: ok
+}

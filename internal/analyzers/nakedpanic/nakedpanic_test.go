@@ -1,0 +1,16 @@
+package nakedpanic_test
+
+import (
+	"testing"
+
+	"github.com/defender-game/defender/internal/analyzers/analysistest"
+	"github.com/defender-game/defender/internal/analyzers/nakedpanic"
+)
+
+func TestNakedPanicInternal(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", "example.com/m/internal/a", nakedpanic.Analyzer)
+}
+
+func TestNakedPanicPublicPackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata/src/b", "example.com/m/b", nakedpanic.Analyzer)
+}

@@ -1,0 +1,38 @@
+// Package a is the nakedpanic fixture, loaded under an internal/ import
+// path: naked panics flagged, lint:invariant-annotated panics allowed.
+package a
+
+import "errors"
+
+func flagged(n int) int {
+	if n < 0 {
+		panic("negative") // want `panic in internal library package`
+	}
+	return n
+}
+
+func alsoFlagged() {
+	defer func() { recover() }()
+	panic(errors.New("boom")) // want `panic in internal library package`
+}
+
+func allowedSameLine(ok bool) {
+	if !ok {
+		panic("unreachable: caller validated ok") // lint:invariant — callers construct ok=true by definition
+	}
+}
+
+func allowedLineAbove(ids []int) int {
+	if len(ids) == 0 {
+		// lint:invariant — ids non-empty by construction at every call site
+		panic("empty ids")
+	}
+	return ids[0]
+}
+
+func cleanError(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("negative")
+	}
+	return n, nil
+}

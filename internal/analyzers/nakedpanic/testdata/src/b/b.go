@@ -1,0 +1,10 @@
+// Package b is the nakedpanic negative fixture, loaded under a
+// non-internal import path: panics here are out of the analyzer's scope.
+package b
+
+func MustPositive(n int) int {
+	if n <= 0 {
+		panic("not positive") // public package: not flagged
+	}
+	return n
+}

@@ -1,0 +1,243 @@
+// Package ratalias flags in-place mutation of shared *big.Rat values.
+//
+// The equilibrium verifier (Theorems 3.1–3.4, Lemma 4.1) is exact only
+// while every stored probability and load stays immutable after
+// construction. big.Rat's arithmetic methods mutate their receiver, so a
+// call like loads[v].Add(...) on a rat that aliases strategy-internal
+// state silently corrupts later comparisons. The analyzer flags calls to
+// mutating big.Rat methods whose receiver is
+//
+//   - a map or slice element of a container the function does not own,
+//   - a struct field of an exported type, or
+//   - a package-level variable.
+//
+// A receiver that is a plain local — conventionally a fresh new(big.Rat)
+// accumulator — is allowed. A container counts as owned when it is rooted
+// in a make() call, a composite literal, or a field of an *unexported*
+// struct type (solver-internal scratch like the lp simplex tableau),
+// including through local aliases of such containers.
+package ratalias
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/defender-game/defender/internal/analyzers/analysis"
+)
+
+// Analyzer flags mutating big.Rat method calls on shared receivers.
+var Analyzer = &analysis.Analyzer{
+	Name: "ratalias",
+	Doc:  "flag in-place mutation of big.Rat values reachable by other code",
+	Run:  run,
+}
+
+// mutators are the big.Rat methods that write through their receiver.
+var mutators = map[string]bool{
+	"Abs": true, "Add": true, "Inv": true, "Mul": true, "Neg": true,
+	"Quo": true, "Scan": true, "Set": true, "SetFloat64": true,
+	"SetFrac": true, "SetFrac64": true, "SetInt": true, "SetInt64": true,
+	"SetString": true, "SetUint64": true, "Sub": true,
+	"GobDecode": true, "UnmarshalText": true, "UnmarshalJSON": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		// Package-scope initializers have no surrounding function; treat
+		// them with an empty fresh set.
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			checkFunc(pass, fn)
+			return false
+		})
+	}
+	return nil
+}
+
+// checkFunc inspects one function body with its set of owned containers
+// (slices/maps the function created or that belong to unexported types,
+// whose elements the function may mutate).
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	fresh := ownedContainers(pass, fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !mutators[sel.Sel.Name] {
+			return true
+		}
+		if !isRatMethod(pass, sel) {
+			return true
+		}
+		if msg := classifyReceiver(pass, sel.X, fresh); msg != "" {
+			pass.Reportf(call.Pos(), "big.Rat.%s mutates %s; operate on a fresh new(big.Rat) instead", sel.Sel.Name, msg)
+		}
+		return true
+	})
+}
+
+// isRatMethod reports whether sel selects a method of math/big.Rat.
+func isRatMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	named, ok := deref(s.Recv()).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "math/big" && obj.Name() == "Rat"
+}
+
+// classifyReceiver returns a description of the shared location the
+// receiver denotes, or "" when the receiver is acceptably fresh.
+func classifyReceiver(pass *analysis.Pass, recv ast.Expr, fresh map[types.Object]bool) string {
+	switch e := unparen(recv).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if v, ok := obj.(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+			return "package-level variable " + e.Name
+		}
+	case *ast.IndexExpr:
+		if ownedExpr(pass, e.X, fresh) {
+			return "" // element of a container this function owns
+		}
+		return "a map or slice element"
+	case *ast.SelectorExpr:
+		s, ok := pass.TypesInfo.Selections[e]
+		if !ok {
+			// Qualified identifier: a package-level variable of another package.
+			if v, isVar := pass.TypesInfo.Uses[e.Sel].(*types.Var); isVar && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return "package-level variable " + e.Sel.Name
+			}
+			return ""
+		}
+		if s.Kind() != types.FieldVal {
+			return ""
+		}
+		if named, ok := deref(s.Recv()).(*types.Named); ok && named.Obj().Exported() {
+			return "a field of exported type " + named.Obj().Name()
+		}
+	}
+	return ""
+}
+
+// ownedExpr reports whether e denotes storage the enclosing function may
+// mutate: a fresh allocation, a field of an unexported struct type, an
+// owned local, or an element of any of those.
+func ownedExpr(pass *analysis.Pass, e ast.Expr, owned map[types.Object]bool) bool {
+	switch cur := unparen(e).(type) {
+	case *ast.CallExpr:
+		if id, ok := unparen(cur.Fun).(*ast.Ident); ok && (id.Name == "make" || id.Name == "new") {
+			if obj := pass.TypesInfo.Uses[id]; obj == nil || obj.Pkg() == nil {
+				return true // the builtin, not a shadowing function
+			}
+		}
+		return false
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		return cur.Op == token.AND && ownedExpr(pass, cur.X, owned)
+	case *ast.StarExpr:
+		return ownedExpr(pass, cur.X, owned)
+	case *ast.IndexExpr:
+		return ownedExpr(pass, cur.X, owned)
+	case *ast.SelectorExpr:
+		s, ok := pass.TypesInfo.Selections[cur]
+		if !ok || s.Kind() != types.FieldVal {
+			return false
+		}
+		named, ok := deref(s.Recv()).(*types.Named)
+		return ok && !named.Obj().Exported()
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[cur]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[cur]
+		}
+		return obj != nil && owned[obj]
+	}
+	return false
+}
+
+// ownedContainers collects local variables holding storage the function
+// owns: assigned from make()/composite literals, or aliases of containers
+// that are themselves owned (e.g. row := t.cells[i] on an unexported
+// struct). Aliases propagate via a bounded fixpoint so assignment order
+// does not matter.
+func ownedContainers(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	owned := make(map[types.Object]bool)
+	objOf := func(lhs ast.Expr) types.Object {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Uses[id]
+	}
+	for pass1 := 0; pass1 < 4; pass1++ {
+		changed := false
+		mark := func(lhs, rhs ast.Expr) {
+			obj := objOf(lhs)
+			if obj == nil || owned[obj] {
+				return
+			}
+			if ownedExpr(pass, rhs, owned) {
+				owned[obj] = true
+				changed = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) == len(st.Rhs) {
+					for i := range st.Lhs {
+						mark(st.Lhs[i], st.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(st.Names) == len(st.Values) {
+					for i := range st.Names {
+						mark(st.Names[i], st.Values[i])
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return owned
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

@@ -1,0 +1,12 @@
+package ratalias_test
+
+import (
+	"testing"
+
+	"github.com/defender-game/defender/internal/analyzers/analysistest"
+	"github.com/defender-game/defender/internal/analyzers/ratalias"
+)
+
+func TestRatAlias(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", "example.com/a", ratalias.Analyzer)
+}

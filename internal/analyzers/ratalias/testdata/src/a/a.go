@@ -1,0 +1,45 @@
+// Package a is the ratalias fixture: mutating big.Rat methods on shared
+// receivers are flagged; fresh locals and locally-made containers are not.
+package a
+
+import "math/big"
+
+var shared = big.NewRat(1, 2)
+
+// Strategy is exported: its fields are reachable by other packages.
+type Strategy struct {
+	P     *big.Rat
+	Probs map[int]*big.Rat
+}
+
+type hidden struct {
+	p     *big.Rat
+	cells [][]*big.Rat
+}
+
+func flagged(s *Strategy, loads []*big.Rat, m map[string]*big.Rat) {
+	shared.Add(shared, shared)     // want `package-level variable shared`
+	loads[0].Mul(loads[0], shared) // want `map or slice element`
+	m["k"].SetInt64(3)             // want `map or slice element`
+	s.P.Neg(s.P)                   // want `field of exported type Strategy`
+	s.Probs[1].Inv(shared)         // want `map or slice element`
+	(shared).Quo(shared, shared)   // want `package-level variable shared`
+}
+
+func clean(h *hidden, s *Strategy) *big.Rat {
+	sum := new(big.Rat)
+	sum.Add(sum, shared) // fresh local accumulator: ok
+	fresh := make([]*big.Rat, 2)
+	fresh[0] = new(big.Rat)
+	fresh[0].Add(fresh[0], shared) // element of container made here: ok
+	byKey := map[int]*big.Rat{0: new(big.Rat)}
+	byKey[0].SetInt64(7)      // composite literal made here: ok
+	h.p.Set(shared)           // field of unexported type: ok
+	h.cells[0][1].SetInt64(2) // element of unexported-type container: ok
+	row := h.cells[0]
+	row[0].Add(row[0], shared) // alias of owned container: ok
+	_ = sum.Cmp(shared)        // Cmp does not mutate: ok
+	v := s.P.Sign()            // Sign does not mutate: ok
+	_ = v
+	return new(big.Rat).Set(s.P) // defensive copy idiom: ok
+}

@@ -76,9 +76,10 @@ func ComputeRegret(gm *game.Game, mp game.MixedProfile) (Regret, error) {
 		return Regret{}, err
 	}
 	current := gm.ExpectedProfitTP(mp)
-	reg.Defender = new(big.Rat).Sub(maxLoad, current)
-	if reg.Defender.Sign() < 0 {
-		reg.Defender.SetInt64(0)
+	d := new(big.Rat).Sub(maxLoad, current)
+	if d.Sign() < 0 {
+		d.SetInt64(0)
 	}
+	reg.Defender = d
 	return reg, nil
 }

@@ -84,7 +84,8 @@ func enumerateTuples(g *graph.Graph, k int) []game.Tuple {
 		if pos == k {
 			t, err := game.NewTupleFromIDs(g, ids)
 			if err != nil {
-				// ids are distinct ascending edge indices by construction.
+				// lint:invariant — ids are distinct ascending edge indices
+				// by construction, so NewTupleFromIDs cannot fail.
 				panic(fmt.Sprintf("core: enumerate tuples: %v", err))
 			}
 			out = append(out, t)

@@ -216,6 +216,8 @@ func maxLoadIndependent(g *graph.Graph, k int, loads []*big.Rat, positive []int)
 }
 
 // uniformLoads reports whether every vertex carries the same positive load.
+// The returned rat is a defensive copy, never an alias of the caller's
+// loads slice.
 func uniformLoads(g *graph.Graph, loads []*big.Rat) (bool, *big.Rat) {
 	if g.NumVertices() == 0 || loads[0].Sign() <= 0 {
 		return false, nil
@@ -225,7 +227,7 @@ func uniformLoads(g *graph.Graph, loads []*big.Rat) (bool, *big.Rat) {
 			return false, nil
 		}
 	}
-	return true, loads[0]
+	return true, new(big.Rat).Set(loads[0])
 }
 
 // maxLoadUniform handles case 2: every vertex has load c. The maximum
@@ -294,7 +296,7 @@ func maxLoadUniform(g *graph.Graph, k int, c *big.Rat) (*big.Rat, game.Tuple, er
 		if combinationsWithin(g.NumEdges(), k, exhaustiveTupleLimit) {
 			loads := make([]*big.Rat, g.NumVertices())
 			for i := range loads {
-				loads[i] = c
+				loads[i] = new(big.Rat).Set(c) // no aliasing across entries
 			}
 			return maxLoadExhaustive(g, k, loads)
 		}

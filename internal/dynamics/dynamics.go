@@ -251,7 +251,8 @@ func rescale(w []float64) {
 	for _, x := range w {
 		sum += x
 	}
-	if sum == 0 {
+	// Weights are non-negative, so <= 0 means total underflow: reset.
+	if sum <= 0 {
 		for i := range w {
 			w[i] = 1
 		}

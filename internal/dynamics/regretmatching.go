@@ -16,8 +16,17 @@ import (
 // opponent's realized action. In zero-sum games the empirical play
 // converges to the minimax value — a third learning algorithm, with
 // randomized (rather than deterministic-FP or full-distribution-MW)
-// updates.
+// updates. The seed builds a private source; callers composing several
+// randomized algorithms into one reproducible run should use
+// RegretMatchingRand with a shared *rand.Rand instead.
 func RegretMatching(g *graph.Graph, rounds int, seed int64) (MWResult, error) {
+	return RegretMatchingRand(g, rounds, rand.New(rand.NewSource(seed)))
+}
+
+// RegretMatchingRand is RegretMatching drawing from an injected source, so
+// a whole experiment (graph generation included, via graph.Generator) can
+// replay from a single seed. A nil rng falls back to a fixed seed of 1.
+func RegretMatchingRand(g *graph.Graph, rounds int, rng *rand.Rand) (MWResult, error) {
 	if rounds <= 0 {
 		return MWResult{}, fmt.Errorf("%w: %d", ErrBadRounds, rounds)
 	}
@@ -27,8 +36,10 @@ func RegretMatching(g *graph.Graph, rounds int, seed int64) (MWResult, error) {
 	if g.HasIsolatedVertex() {
 		return MWResult{}, game.ErrIsolatedVertex
 	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
 	n, m := g.NumVertices(), g.NumEdges()
-	rng := rand.New(rand.NewSource(seed))
 
 	atkRegret := make([]float64, n) // attacker action regrets
 	defRegret := make([]float64, m) // defender action regrets
@@ -42,7 +53,9 @@ func RegretMatching(g *graph.Graph, rounds int, seed int64) (MWResult, error) {
 				total += r
 			}
 		}
-		if total == 0 {
+		// total sums only positive regrets, so <= 0 means no positive
+		// regret exists: play uniformly.
+		if total <= 0 {
 			return rng.Intn(len(regret))
 		}
 		x := rng.Float64() * total

@@ -58,10 +58,12 @@ func renderASCII(series []Series, width, height int, xLabel, yLabel string) stri
 	if math.IsInf(minX, 1) {
 		return "(no data)\n"
 	}
-	if maxX == minX {
+	// Degenerate (single-valued) ranges get unit width; the negated form
+	// avoids float equality and also catches NaN bounds.
+	if !(maxX > minX) {
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if !(maxY > minY) {
 		maxY = minY + 1
 	}
 	canvas := make([][]byte, height)

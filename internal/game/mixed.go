@@ -53,10 +53,12 @@ func (s VertexStrategy) Support() []int {
 }
 
 // Prob returns the probability assigned to v (zero if outside the support).
-// The returned value must not be mutated.
+// The result is a defensive copy: mutating it cannot corrupt the strategy,
+// which stays immutable after construction (the ratalias analyzer enforces
+// the same property inside this package).
 func (s VertexStrategy) Prob(v int) *big.Rat {
 	if p, ok := s.prob[v]; ok {
-		return p
+		return new(big.Rat).Set(p)
 	}
 	return new(big.Rat)
 }
@@ -146,10 +148,10 @@ func (s TupleStrategy) Support() []Tuple {
 func (s TupleStrategy) SupportSize() int { return len(s.tuples) }
 
 // Prob returns the probability of tuple t (zero outside the support).
-// The returned value must not be mutated.
+// The result is a defensive copy: mutating it cannot corrupt the strategy.
 func (s TupleStrategy) Prob(t Tuple) *big.Rat {
 	if p, ok := s.prob[t.Key()]; ok {
-		return p
+		return new(big.Rat).Set(p)
 	}
 	return new(big.Rat)
 }

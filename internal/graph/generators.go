@@ -1,10 +1,5 @@
 package graph
 
-import (
-	"fmt"
-	"math/rand"
-)
-
 // Path returns the path graph P_n on n vertices (n-1 edges).
 func Path(n int) *Graph {
 	g := New(n)
@@ -143,164 +138,32 @@ func Heawood() *Graph {
 }
 
 // RandomGNP returns an Erdős–Rényi graph G(n, p) drawn with the given seed.
+// It is a convenience wrapper over Generator.GNP; callers drawing several
+// graphs should hold one Generator instead.
 func RandomGNP(n int, p float64, seed int64) *Graph {
-	rng := rand.New(rand.NewSource(seed))
-	g := New(n)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if rng.Float64() < p {
-				_ = g.AddEdge(u, v)
-			}
-		}
-	}
-	return g
+	return NewSeededGenerator(seed).GNP(n, p)
 }
 
-// RandomBipartite returns a random bipartite graph with sides of size a and b
-// where every cross pair is an edge independently with probability p. To
-// avoid isolated vertices (the Tuple model forbids them), every vertex that
-// ends up isolated is attached to a uniformly random vertex of the other side
-// (requires a, b >= 1).
+// RandomBipartite returns a random bipartite graph without isolated
+// vertices, drawn with the given seed; see Generator.Bipartite.
 func RandomBipartite(a, b int, p float64, seed int64) *Graph {
-	rng := rand.New(rand.NewSource(seed))
-	g := New(a + b)
-	for u := 0; u < a; u++ {
-		for v := a; v < a+b; v++ {
-			if rng.Float64() < p {
-				_ = g.AddEdge(u, v)
-			}
-		}
-	}
-	if a >= 1 && b >= 1 {
-		for u := 0; u < a; u++ {
-			if g.Degree(u) == 0 {
-				_ = g.AddEdge(u, a+rng.Intn(b))
-			}
-		}
-		for v := a; v < a+b; v++ {
-			if g.Degree(v) == 0 {
-				_ = g.AddEdge(rng.Intn(a), v)
-			}
-		}
-	}
-	return g
+	return NewSeededGenerator(seed).Bipartite(a, b, p)
 }
 
-// RandomTree returns a uniformly random labelled tree on n vertices, built by
-// decoding a random Prüfer sequence.
+// RandomTree returns a uniformly random labelled tree on n vertices, drawn
+// with the given seed; see Generator.Tree.
 func RandomTree(n int, seed int64) *Graph {
-	g := New(n)
-	if n <= 1 {
-		return g
-	}
-	if n == 2 {
-		_ = g.AddEdge(0, 1)
-		return g
-	}
-	rng := rand.New(rand.NewSource(seed))
-	prufer := make([]int, n-2)
-	for i := range prufer {
-		prufer[i] = rng.Intn(n)
-	}
-	degree := make([]int, n)
-	for i := range degree {
-		degree[i] = 1
-	}
-	for _, v := range prufer {
-		degree[v]++
-	}
-	// Repeatedly attach the smallest leaf to the next Prüfer symbol.
-	leaf := -1
-	ptr := 0
-	next := func() int {
-		if leaf != -1 {
-			v := leaf
-			leaf = -1
-			return v
-		}
-		for degree[ptr] != 1 {
-			ptr++
-		}
-		v := ptr
-		ptr++
-		return v
-	}
-	for _, p := range prufer {
-		v := next()
-		_ = g.AddEdge(v, p)
-		degree[v]--
-		degree[p]--
-		if degree[p] == 1 && p < ptr {
-			leaf = p
-		}
-	}
-	// Two vertices of degree 1 remain; join them.
-	u, v := -1, -1
-	for w := 0; w < n; w++ {
-		if degree[w] == 1 {
-			if u == -1 {
-				u = w
-			} else {
-				v = w
-			}
-		}
-	}
-	_ = g.AddEdge(u, v)
-	return g
+	return NewSeededGenerator(seed).Tree(n)
 }
 
-// RandomConnected returns a connected Erdős–Rényi-style graph: a random tree
-// backbone (guaranteeing connectivity and no isolated vertices) plus each
-// remaining pair as an edge with probability p.
+// RandomConnected returns a connected Erdős–Rényi-style graph drawn with
+// the given seed; see Generator.Connected.
 func RandomConnected(n int, p float64, seed int64) *Graph {
-	g := RandomTree(n, seed)
-	rng := rand.New(rand.NewSource(seed + 1))
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if !g.HasEdge(u, v) && rng.Float64() < p {
-				_ = g.AddEdge(u, v)
-			}
-		}
-	}
-	return g
+	return NewSeededGenerator(seed).Connected(n, p)
 }
 
-// RandomRegular returns a d-regular graph on n vertices via the pairing
-// model with restarts, or an error if n*d is odd or d >= n.
+// RandomRegular returns a d-regular graph on n vertices drawn with the
+// given seed, or an error if n*d is odd or d >= n; see Generator.Regular.
 func RandomRegular(n, d int, seed int64) (*Graph, error) {
-	if n*d%2 != 0 {
-		return nil, fmt.Errorf("graph: no %d-regular graph on %d vertices (odd degree sum)", d, n)
-	}
-	if d >= n {
-		return nil, fmt.Errorf("graph: degree %d too large for %d vertices", d, n)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	const maxAttempts = 1000
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		g, ok := tryPairing(n, d, rng)
-		if ok {
-			return g, nil
-		}
-	}
-	return nil, fmt.Errorf("graph: pairing model failed to produce a simple %d-regular graph on %d vertices", d, n)
-}
-
-// tryPairing runs one round of the configuration model.
-func tryPairing(n, d int, rng *rand.Rand) (*Graph, bool) {
-	stubs := make([]int, 0, n*d)
-	for v := 0; v < n; v++ {
-		for i := 0; i < d; i++ {
-			stubs = append(stubs, v)
-		}
-	}
-	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
-	g := New(n)
-	for i := 0; i < len(stubs); i += 2 {
-		u, v := stubs[i], stubs[i+1]
-		if u == v || g.HasEdge(u, v) {
-			return nil, false
-		}
-		_ = g.AddEdge(u, v)
-	}
-	return g, true
+	return NewSeededGenerator(seed).Regular(n, d)
 }

@@ -123,6 +123,8 @@ func Caterpillar(s, legs int) *Graph {
 // example helper for statically-known edges.
 func (g *Graph) MustEdge(u, v int) Edge {
 	if !g.HasEdge(u, v) {
+		// lint:invariant — Must* helper: panicking on a statically-known
+		// edge that is absent is the documented contract.
 		panic(fmt.Sprintf("graph: edge (%d,%d) not present", u, v))
 	}
 	return NewEdge(u, v)

@@ -1,121 +1,20 @@
 package graph
 
-import "math/rand"
-
 // Realistic network-topology generators used by the characterization
 // experiments: scale-free (Barabási–Albert) and small-world
 // (Watts–Strogatz) graphs model real information networks far better than
 // G(n,p), and the equilibrium theory behaves differently on them (hubs
-// concentrate the vertex covers).
+// concentrate the vertex covers). Both are convenience wrappers over the
+// corresponding Generator methods.
 
-// BarabasiAlbert grows a scale-free graph by preferential attachment:
-// starting from a clique on m0 = attach vertices, every new vertex draws
-// `attach` distinct neighbors with probability proportional to current
-// degree. The result is connected with no isolated vertices; n must be
-// at least attach+1 and attach >= 1.
+// BarabasiAlbert grows a scale-free graph by preferential attachment,
+// drawn with the given seed; see Generator.BarabasiAlbert.
 func BarabasiAlbert(n, attach int, seed int64) *Graph {
-	if attach < 1 {
-		attach = 1
-	}
-	if n < attach+1 {
-		n = attach + 1
-	}
-	rng := rand.New(rand.NewSource(seed))
-	g := New(n)
-	// Seed clique keeps early degrees positive.
-	for u := 0; u < attach; u++ {
-		for v := u + 1; v < attach; v++ {
-			_ = g.AddEdge(u, v)
-		}
-	}
-	// repeated lists every endpoint once per incident edge: sampling from
-	// it is degree-proportional sampling.
-	var repeated []int
-	for _, e := range g.Edges() {
-		repeated = append(repeated, e.U, e.V)
-	}
-	if len(repeated) == 0 { // attach == 1: no seed edges yet
-		repeated = []int{0}
-	}
-	for v := attach; v < n; v++ {
-		chosen := make(map[int]bool, attach)
-		for len(chosen) < attach {
-			var candidate int
-			if len(repeated) == 0 || rng.Intn(10) == 0 {
-				// Small uniform component keeps degenerate cases moving.
-				candidate = rng.Intn(v)
-			} else {
-				candidate = repeated[rng.Intn(len(repeated))]
-			}
-			if candidate != v && !chosen[candidate] {
-				chosen[candidate] = true
-			}
-		}
-		for u := range chosen {
-			_ = g.AddEdge(v, u)
-			repeated = append(repeated, v, u)
-		}
-	}
-	return g
+	return NewSeededGenerator(seed).BarabasiAlbert(n, attach)
 }
 
-// WattsStrogatz builds a small-world graph: a ring lattice on n vertices
-// where each vertex connects to its k/2 nearest neighbors on each side
-// (k even, k < n), then each lattice edge is rewired with probability p to
-// a uniformly random non-duplicate endpoint. Rewirings that would isolate
-// a vertex or duplicate an edge are skipped, so the result stays simple
-// with minimum degree >= 1.
+// WattsStrogatz builds a small-world graph, drawn with the given seed; see
+// Generator.WattsStrogatz.
 func WattsStrogatz(n, k int, p float64, seed int64) *Graph {
-	if k < 2 {
-		k = 2
-	}
-	if k%2 == 1 {
-		k++
-	}
-	if n <= k {
-		n = k + 1
-	}
-	rng := rand.New(rand.NewSource(seed))
-	g := New(n)
-	for v := 0; v < n; v++ {
-		for j := 1; j <= k/2; j++ {
-			u := (v + j) % n
-			if !g.HasEdge(v, u) {
-				_ = g.AddEdge(v, u)
-			}
-		}
-	}
-	// Rewire: rebuild the edge set with random replacements.
-	edges := g.Edges()
-	out := New(n)
-	for _, e := range edges {
-		if rng.Float64() >= p {
-			if !out.HasEdge(e.U, e.V) {
-				_ = out.AddEdge(e.U, e.V)
-			}
-			continue
-		}
-		rewired := false
-		for attempt := 0; attempt < 2*n; attempt++ {
-			w := rng.Intn(n)
-			if w != e.U && !out.HasEdge(e.U, w) && !g.HasEdge(e.U, w) {
-				_ = out.AddEdge(e.U, w)
-				rewired = true
-				break
-			}
-		}
-		if !rewired && !out.HasEdge(e.U, e.V) {
-			_ = out.AddEdge(e.U, e.V)
-		}
-	}
-	// Ensure no vertex lost all incident edges to rewiring.
-	for v := 0; v < n; v++ {
-		if out.Degree(v) == 0 {
-			u := (v + 1) % n
-			if !out.HasEdge(v, u) {
-				_ = out.AddEdge(v, u)
-			}
-		}
-	}
-	return out
+	return NewSeededGenerator(seed).WattsStrogatz(n, k, p)
 }

@@ -105,9 +105,9 @@ func Minimize(c []*big.Rat, a [][]*big.Rat, b []*big.Rat) (Solution, error) {
 	if err != nil || sol.Status != Optimal {
 		return sol, err
 	}
-	sol.Value.Neg(sol.Value)
+	sol.Value = new(big.Rat).Neg(sol.Value)
 	for i := range sol.Dual {
-		sol.Dual[i].Neg(sol.Dual[i])
+		sol.Dual[i] = new(big.Rat).Neg(sol.Dual[i])
 	}
 	return sol, nil
 }

@@ -68,7 +68,7 @@ func SolveZeroSum(m [][]*big.Rat) (GameSolution, error) {
 			return GameSolution{}, err
 		}
 		return GameSolution{
-			Value: gs.Value.Neg(gs.Value),
+			Value: new(big.Rat).Neg(gs.Value),
 			Row:   gs.Col,
 			Col:   gs.Row,
 		}, nil

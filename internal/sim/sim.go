@@ -41,14 +41,20 @@ type Result struct {
 	ExpectedCaught float64
 }
 
+// meanAgreeTol bounds when the empirical mean is considered to coincide
+// with the exact expectation in ZScore's degenerate zero-StdErr branch.
+// Empirical means are integer multiples of 1/rounds, so a genuine
+// disagreement is many orders of magnitude larger than this.
+const meanAgreeTol = 1e-12
+
 // ZScore returns (MeanCaught − ExpectedCaught) / StdErr, the standardized
 // deviation of the empirical mean from the exact expectation. Values within
 // ±3 are expected for a correct sampler. Returns 0 when StdErr is 0 and the
-// means agree exactly, +Inf/-Inf otherwise.
+// means agree (within meanAgreeTol), +Inf/-Inf otherwise.
 func (r Result) ZScore() float64 {
 	diff := r.MeanCaught - r.ExpectedCaught
-	if r.StdErr == 0 {
-		if diff == 0 {
+	if r.StdErr <= 0 { // the standard error is non-negative by construction
+		if math.Abs(diff) <= meanAgreeTol {
 			return 0
 		}
 		return math.Inf(int(math.Copysign(1, diff)))
