@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test lint vet race fuzz-smoke check
+.PHONY: all build test lint vet race bench fuzz-smoke check
 
 all: check
 
@@ -24,6 +24,13 @@ lint: vet
 
 race:
 	$(GO) test -race ./...
+
+# bench runs the experiment-engine micro/table benchmarks and then has the
+# CLI emit the BENCH_experiments.json throughput baseline (per-table wall
+# time, cells/sec, p50/p95 cell latency).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/experiments
+	$(GO) run ./cmd/experiments -quick -bench-out BENCH_experiments.json
 
 # fuzz-smoke gives each native fuzz target a short budget; crashes fail
 # the target and land a reproducer under testdata/fuzz.

@@ -28,7 +28,7 @@ import (
 // benchExperiment runs one experiment table in quick mode per iteration.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
-	var runner experiments.Runner
+	var runner experiments.Experiment
 	for _, r := range experiments.All() {
 		if r.ID == id {
 			runner = r

@@ -3,16 +3,24 @@
 // (ICDCS 2006). Each table carries a per-row self-check; the command exits
 // non-zero if any check fails, making it usable as a reproduction gate.
 //
+// Tables execute their independent (graph, k) cells on a bounded worker
+// pool (-workers, default GOMAXPROCS); output is byte-identical for any
+// worker count. -bench-out writes a JSON perf baseline (per-table wall
+// time, cell throughput, p50/p95 cell latency) for trend tracking.
+//
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-only E2,E5]
+//	experiments [-quick] [-seed N] [-only E2,E5] [-workers N] [-bench-out FILE]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"github.com/defender-game/defender/internal/experiments"
 )
@@ -24,18 +32,42 @@ func main() {
 	}
 }
 
+// benchTable is one table's entry in the -bench-out JSON.
+type benchTable struct {
+	ID          string  `json:"id"`
+	Rows        int     `json:"rows"`
+	Cells       int     `json:"cells"`
+	WallMS      float64 `json:"wall_ms"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	CellP50MS   float64 `json:"cell_p50_ms"`
+	CellP95MS   float64 `json:"cell_p95_ms"`
+}
+
+// benchReport is the schema of BENCH_experiments.json.
+type benchReport struct {
+	Suite       string       `json:"suite"`
+	Quick       bool         `json:"quick"`
+	Seed        int64        `json:"seed"`
+	Workers     int          `json:"workers"`
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	TotalWallMS float64      `json:"total_wall_ms"`
+	Tables      []benchTable `json:"tables"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		quick   = fs.Bool("quick", false, "run reduced sweeps")
-		seed    = fs.Int64("seed", 1, "workload seed")
-		only    = fs.String("only", "", "comma-separated experiment ids (e.g. E2,E5); empty = all")
-		figures = fs.Bool("figures", false, "also render the F1/F2 plain-text figures")
+		quick    = fs.Bool("quick", false, "run reduced sweeps")
+		seed     = fs.Int64("seed", 1, "workload seed")
+		only     = fs.String("only", "", "comma-separated experiment ids (e.g. E2,E5); empty = all")
+		figures  = fs.Bool("figures", false, "also render the F1/F2 plain-text figures")
+		workers  = fs.Int("workers", 0, "cell worker pool size per table; 0 = GOMAXPROCS")
+		benchOut = fs.String("bench-out", "", "write a JSON perf baseline (e.g. BENCH_experiments.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 
 	selected := make(map[string]bool)
 	if *only != "" {
@@ -44,23 +76,43 @@ func run(args []string) error {
 		}
 	}
 
+	report := benchReport{
+		Suite:      "experiments",
+		Quick:      *quick,
+		Seed:       *seed,
+		Workers:    *workers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
 	failures := 0
 	ran := 0
-	for _, r := range experiments.All() {
-		if len(selected) > 0 && !selected[r.ID] {
+	suiteStart := time.Now()
+	for _, e := range experiments.All() {
+		if len(selected) > 0 && !selected[e.ID] {
 			continue
 		}
 		ran++
-		table, err := r.Run(cfg)
+		tableStart := time.Now()
+		table, err := e.Run(cfg)
+		tableWall := time.Since(tableStart)
 		if err != nil {
-			return fmt.Errorf("%s: %w", r.ID, err)
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Println(table.Render())
 		if bad := table.Failures(); len(bad) > 0 {
 			failures += len(bad)
-			fmt.Fprintf(os.Stderr, "%s: %d self-check failures\n", r.ID, len(bad))
+			fmt.Fprintf(os.Stderr, "%s: %d self-check failures\n", e.ID, len(bad))
 		}
+		report.Tables = append(report.Tables, benchTable{
+			ID:          table.ID,
+			Rows:        len(table.Rows),
+			Cells:       table.Stats.Cells,
+			WallMS:      float64(tableWall.Microseconds()) / 1e3,
+			CellsPerSec: table.Stats.CellsPerSec(),
+			CellP50MS:   float64(table.Stats.CellP50.Microseconds()) / 1e3,
+			CellP95MS:   float64(table.Stats.CellP95.Microseconds()) / 1e3,
+		})
 	}
+	report.TotalWallMS = float64(time.Since(suiteStart).Microseconds()) / 1e3
 	if *figures {
 		for _, f := range experiments.Figures() {
 			fig, err := f.Run(cfg)
@@ -76,6 +128,16 @@ func run(args []string) error {
 	}
 	if ran == 0 && !*figures {
 		return fmt.Errorf("no experiments matched -only=%q", *only)
+	}
+	if *benchOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return fmt.Errorf("bench-out: %w", err)
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("bench-out: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote perf baseline to %s (%.1f ms total)\n", *benchOut, report.TotalWallMS)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d self-check failures across the suite", failures)

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSelectedQuick(t *testing.T) {
 	if err := run([]string{"-quick", "-only", "E1,E7"}); err != nil {
@@ -23,5 +28,46 @@ func TestRunBadFlag(t *testing.T) {
 func TestRunCaseInsensitiveSelection(t *testing.T) {
 	if err := run([]string{"-quick", "-only", "e9"}); err != nil {
 		t.Fatalf("lower-case id: %v", err)
+	}
+}
+
+func TestRunWorkersFlag(t *testing.T) {
+	if err := run([]string{"-quick", "-workers", "4", "-only", "E1"}); err != nil {
+		t.Fatalf("run with workers: %v", err)
+	}
+}
+
+func TestRunBenchOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_experiments.json")
+	if err := run([]string{"-quick", "-workers", "2", "-only", "E1,E10", "-bench-out", path}); err != nil {
+		t.Fatalf("run with bench-out: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("bench file not written: %v", err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("bench file is not valid JSON: %v", err)
+	}
+	if report.Suite != "experiments" || !report.Quick || report.Workers != 2 {
+		t.Errorf("report header wrong: %+v", report)
+	}
+	if len(report.Tables) != 2 || report.TotalWallMS <= 0 {
+		t.Fatalf("want 2 table entries and positive wall time, got %+v", report)
+	}
+	for _, tab := range report.Tables {
+		if tab.WallMS <= 0 {
+			t.Errorf("%s: wall_ms = %v, want > 0", tab.ID, tab.WallMS)
+		}
+		if tab.Cells <= 0 || tab.CellsPerSec <= 0 {
+			t.Errorf("%s: cells=%d cells_per_sec=%v, want > 0 for runner-backed tables", tab.ID, tab.Cells, tab.CellsPerSec)
+		}
+	}
+}
+
+func TestRunBenchOutUnwritablePath(t *testing.T) {
+	if err := run([]string{"-quick", "-only", "E1", "-bench-out", "/nonexistent-dir/bench.json"}); err == nil {
+		t.Error("unwritable bench-out path must fail")
 	}
 }

@@ -75,7 +75,7 @@ func lpMinimaxNE(g *graph.Graph, attackers, k int) (TupleEquilibrium, error) {
 	if !combinationsWithin(g.NumEdges(), k, valueTupleLimit) {
 		return TupleEquilibrium{}, fmt.Errorf("%w: C(%d,%d)", ErrValueTooLarge, g.NumEdges(), k)
 	}
-	tuples := enumerateTuples(g, k)
+	tuples := EnumerateTuples(g, k)
 	zero := new(big.Rat)
 	one := big.NewRat(1, 1)
 	payoff := make([][]*big.Rat, len(tuples))

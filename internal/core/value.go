@@ -45,7 +45,7 @@ func GameValue(g *graph.Graph, k int) (*big.Rat, []game.Tuple, []*big.Rat, error
 	if !combinationsWithin(g.NumEdges(), k, valueTupleLimit) {
 		return nil, nil, nil, fmt.Errorf("%w: C(%d,%d)", ErrValueTooLarge, g.NumEdges(), k)
 	}
-	tuples := enumerateTuples(g, k)
+	tuples := EnumerateTuples(g, k)
 
 	// Payoff to the defender (row player, maximizer): 1 if the tuple
 	// covers the attacker's vertex.
@@ -74,9 +74,11 @@ func GameValue(g *graph.Graph, k int) (*big.Rat, []game.Tuple, []*big.Rat, error
 	return gs.Value, tuples, gs.Row, nil
 }
 
-// enumerateTuples lists every k-subset of g's edges as a Tuple, in
-// lexicographic edge-index order.
-func enumerateTuples(g *graph.Graph, k int) []game.Tuple {
+// EnumerateTuples lists every k-subset of g's edges as a Tuple, in
+// lexicographic edge-index order. The pure defender strategy space of
+// Π_k(G) — exported so callers (the experiment cache, benchmarks) can
+// memoize or measure the enumeration separately from the LP solve.
+func EnumerateTuples(g *graph.Graph, k int) []game.Tuple {
 	var out []game.Tuple
 	ids := make([]int, k)
 	var rec func(pos, next int)

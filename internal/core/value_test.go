@@ -192,7 +192,7 @@ func TestGameValueErrors(t *testing.T) {
 
 func TestEnumerateTuples(t *testing.T) {
 	g := graph.Cycle(5)
-	tuples := enumerateTuples(g, 2)
+	tuples := EnumerateTuples(g, 2)
 	if len(tuples) != 10 { // C(5,2)
 		t.Fatalf("C(5,2) = %d, want 10", len(tuples))
 	}

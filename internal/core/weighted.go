@@ -47,7 +47,7 @@ func WeightedDamageValue(g *graph.Graph, k int, weights []*big.Rat) (*big.Rat, g
 	if !combinationsWithin(g.NumEdges(), k, valueTupleLimit) {
 		return nil, game.TupleStrategy{}, fmt.Errorf("%w: C(%d,%d)", ErrValueTooLarge, g.NumEdges(), k)
 	}
-	tuples := enumerateTuples(g, k)
+	tuples := EnumerateTuples(g, k)
 
 	// Rows = attacker vertices (maximizer of damage), columns = defender
 	// tuples: payoff w(v) when the tuple misses v, else 0.

@@ -60,7 +60,21 @@ func MinimumEdgeCover(g *graph.Graph) ([]graph.Edge, error) {
 	if g.HasIsolatedVertex() {
 		return nil, ErrIsolatedVertex
 	}
-	mate := matching.Maximum(g)
+	return MinimumEdgeCoverFromMatching(g, matching.Maximum(g))
+}
+
+// MinimumEdgeCoverFromMatching extends an already-computed maximum matching
+// of g (as a mate array) into a minimum edge cover, skipping the blossom
+// recomputation — the cache-friendly entry point for callers that memoize
+// the matching. mate must be a maximum matching of g (Gallai's identity
+// only holds then) and g must have no isolated vertex.
+func MinimumEdgeCoverFromMatching(g *graph.Graph, mate []int) ([]graph.Edge, error) {
+	if g.HasIsolatedVertex() {
+		return nil, ErrIsolatedVertex
+	}
+	if len(mate) != g.NumVertices() {
+		return nil, fmt.Errorf("cover: mate array has length %d, want %d", len(mate), g.NumVertices())
+	}
 	cover := matching.Edges(mate)
 	for v := 0; v < g.NumVertices(); v++ {
 		if mate[v] == matching.Unmatched {

@@ -305,3 +305,37 @@ func TestGreedyIndependentSet(t *testing.T) {
 		}
 	}
 }
+
+func TestMinimumEdgeCoverFromMatching(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Cycle(7), graph.Path(6), graph.Star(5), graph.Petersen(),
+	} {
+		mate := matching.Maximum(g)
+		ec, err := MinimumEdgeCoverFromMatching(g, mate)
+		if err != nil {
+			t.Fatalf("from matching: %v", err)
+		}
+		want, err := MinimumEdgeCover(g)
+		if err != nil {
+			t.Fatalf("fresh: %v", err)
+		}
+		if len(ec) != len(want) || !IsEdgeCover(g, ec) {
+			t.Errorf("cover from matching has %d edges (valid=%v), want %d",
+				len(ec), IsEdgeCover(g, ec), len(want))
+		}
+	}
+}
+
+func TestMinimumEdgeCoverFromMatchingRejectsBadInput(t *testing.T) {
+	g := graph.Cycle(6)
+	if _, err := MinimumEdgeCoverFromMatching(g, make([]int, 2)); err == nil {
+		t.Error("want error for a mate array of the wrong length")
+	}
+	iso := graph.New(3)
+	if err := iso.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MinimumEdgeCoverFromMatching(iso, matching.Maximum(iso)); err == nil {
+		t.Error("want ErrIsolatedVertex")
+	}
+}

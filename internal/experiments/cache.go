@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"github.com/defender-game/defender/internal/core"
+	"github.com/defender-game/defender/internal/cover"
+	"github.com/defender-game/defender/internal/game"
+	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/matching"
+)
+
+// structCache memoizes the pure-structure computations that many (graph, k)
+// cells share — maximum matchings, minimum edge covers, tuple enumerations,
+// and LP game values — so repeated probes of the same graph stop re-running
+// blossom / Hopcroft–Karp / simplex from scratch. It is safe for concurrent
+// use by the runner's worker pool.
+//
+// Graphs are keyed structurally (graph6), so two independently constructed
+// but identical graphs share entries across tables. Every lookup hands out
+// defensive copies of mutable values (mate arrays, edge slices, *big.Rat),
+// per the ratalias discipline: a caller mutating its copy cannot corrupt
+// the cache or another cell.
+type structCache struct {
+	mu     sync.Mutex
+	mates  map[string][]int
+	covers map[string][]graph.Edge
+	tuples map[string][]game.Tuple
+	values map[string]*big.Rat
+}
+
+func newStructCache() *structCache {
+	return &structCache{
+		mates:  make(map[string][]int),
+		covers: make(map[string][]graph.Edge),
+		tuples: make(map[string][]game.Tuple),
+		values: make(map[string]*big.Rat),
+	}
+}
+
+// stcache is the process-wide cache shared by all table builders. Entries
+// are pure functions of graph structure, so sharing across configurations
+// and tables is sound.
+var stcache = newStructCache()
+
+// key returns the structural cache key of g. Encoding is O(n²); the graphs
+// the experiments cache are all small, but degrade gracefully to a
+// per-instance key if graph6 ever rejects one.
+func (c *structCache) key(g *graph.Graph) string {
+	s, err := graph.FormatGraph6(g)
+	if err != nil {
+		return fmt.Sprintf("ptr:%p", g)
+	}
+	return s
+}
+
+// MaximumMatching returns a maximum matching of g as a fresh mate array.
+func (c *structCache) MaximumMatching(g *graph.Graph) []int {
+	key := c.key(g)
+	c.mu.Lock()
+	mate, ok := c.mates[key]
+	c.mu.Unlock()
+	if !ok {
+		mate = matching.Maximum(g)
+		c.mu.Lock()
+		c.mates[key] = mate
+		c.mu.Unlock()
+	}
+	return matching.CloneMate(mate)
+}
+
+// MinimumEdgeCover returns a minimum edge cover of g as a fresh edge slice,
+// derived from the cached maximum matching via Gallai's identity.
+func (c *structCache) MinimumEdgeCover(g *graph.Graph) ([]graph.Edge, error) {
+	if g.HasIsolatedVertex() {
+		return nil, cover.ErrIsolatedVertex
+	}
+	key := c.key(g)
+	c.mu.Lock()
+	ec, ok := c.covers[key]
+	c.mu.Unlock()
+	if !ok {
+		mate := c.MaximumMatching(g)
+		var err error
+		ec, err = cover.MinimumEdgeCoverFromMatching(g, mate)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.covers[key] = ec
+		c.mu.Unlock()
+	}
+	out := make([]graph.Edge, len(ec))
+	copy(out, ec)
+	return out, nil
+}
+
+// EdgeCoverNumber returns rho(G) from the cached minimum edge cover.
+func (c *structCache) EdgeCoverNumber(g *graph.Graph) (int, error) {
+	ec, err := c.MinimumEdgeCover(g)
+	if err != nil {
+		return 0, err
+	}
+	return len(ec), nil
+}
+
+// Tuples returns the enumeration of all k-subsets of g's edges. The
+// returned slice is a fresh header+elements copy; Tuple values themselves
+// are immutable and safely shared.
+func (c *structCache) Tuples(g *graph.Graph, k int) []game.Tuple {
+	key := fmt.Sprintf("%s|k=%d", c.key(g), k)
+	c.mu.Lock()
+	ts, ok := c.tuples[key]
+	c.mu.Unlock()
+	if !ok {
+		ts = core.EnumerateTuples(g, k)
+		c.mu.Lock()
+		c.tuples[key] = ts
+		c.mu.Unlock()
+	}
+	out := make([]game.Tuple, len(ts))
+	copy(out, ts)
+	return out
+}
+
+// GameValue returns the exact minimax value of Π_k(G) with one attacker,
+// as a fresh *big.Rat.
+func (c *structCache) GameValue(g *graph.Graph, k int) (*big.Rat, error) {
+	key := fmt.Sprintf("%s|k=%d", c.key(g), k)
+	c.mu.Lock()
+	v, ok := c.values[key]
+	c.mu.Unlock()
+	if !ok {
+		value, _, _, err := core.GameValue(g, k)
+		if err != nil {
+			return nil, err
+		}
+		// Store a private copy: GameValue's result may alias LP-internal
+		// state that a later caller could mutate.
+		v = new(big.Rat).Set(value)
+		c.mu.Lock()
+		c.values[key] = v
+		c.mu.Unlock()
+	}
+	return new(big.Rat).Set(v), nil
+}
+
+// Size reports the number of cached entries per kind (matchings, covers,
+// tuple enumerations, values) — observability for tests and benchmarks.
+func (c *structCache) Size() (mates, covers, tuples, values int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mates), len(c.covers), len(c.tuples), len(c.values)
+}

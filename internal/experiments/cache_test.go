@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+
+	"github.com/defender-game/defender/internal/core"
+	"github.com/defender-game/defender/internal/cover"
+	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/matching"
+)
+
+// randomCacheWorkload draws connected test graphs from graph.Generator.
+func randomCacheWorkload(seed int64, count int) []*graph.Graph {
+	gen := graph.NewSeededGenerator(seed)
+	out := make([]*graph.Graph, count)
+	for i := range out {
+		n := 5 + gen.Rand().Intn(8)
+		out[i] = gen.Connected(n, 0.35)
+	}
+	return out
+}
+
+// TestCacheMatchesFreshComputations is the memoization soundness property:
+// for random seeded graphs, every cached result — matching, edge cover,
+// edge-cover number, tuple enumeration, game value — equals the fresh
+// computation, on first (miss) and second (hit) lookup alike.
+func TestCacheMatchesFreshComputations(t *testing.T) {
+	c := newStructCache()
+	for _, g := range randomCacheWorkload(7, 12) {
+		for pass := 0; pass < 2; pass++ { // pass 0 fills, pass 1 hits
+			mate := c.MaximumMatching(g)
+			if err := matching.Verify(g, mate); err != nil {
+				t.Fatalf("cached matching invalid: %v", err)
+			}
+			if got, want := matching.Size(mate), matching.Size(matching.Maximum(g)); got != want {
+				t.Errorf("cached matching size %d, fresh %d", got, want)
+			}
+
+			ec, err := c.MinimumEdgeCover(g)
+			if err != nil {
+				t.Fatalf("cached edge cover: %v", err)
+			}
+			fresh, err := cover.MinimumEdgeCover(g)
+			if err != nil {
+				t.Fatalf("fresh edge cover: %v", err)
+			}
+			if len(ec) != len(fresh) || !cover.IsEdgeCover(g, ec) {
+				t.Errorf("cached cover size %d (valid=%v), fresh %d",
+					len(ec), cover.IsEdgeCover(g, ec), len(fresh))
+			}
+			rho, err := c.EdgeCoverNumber(g)
+			if err != nil || rho != len(fresh) {
+				t.Errorf("cached rho = (%d, %v), want %d", rho, err, len(fresh))
+			}
+
+			tuples := c.Tuples(g, 2)
+			freshTuples := core.EnumerateTuples(g, 2)
+			if len(tuples) != len(freshTuples) {
+				t.Fatalf("cached %d tuples, fresh %d", len(tuples), len(freshTuples))
+			}
+			for i := range tuples {
+				if !tuples[i].Equal(freshTuples[i]) {
+					t.Fatalf("tuple %d differs: %v vs %v", i, tuples[i], freshTuples[i])
+				}
+			}
+
+			value, err := c.GameValue(g, 1)
+			if err != nil {
+				t.Fatalf("cached value: %v", err)
+			}
+			freshValue, _, _, err := core.GameValue(g, 1)
+			if err != nil {
+				t.Fatalf("fresh value: %v", err)
+			}
+			if value.Cmp(freshValue) != 0 {
+				t.Errorf("cached value %v, fresh %v", value, freshValue)
+			}
+		}
+	}
+}
+
+// TestCacheLookupsAreDefensiveCopies: mutating anything a lookup returned
+// must not corrupt later lookups (the ratalias discipline applied to the
+// cache boundary).
+func TestCacheLookupsAreDefensiveCopies(t *testing.T) {
+	c := newStructCache()
+	g := graph.Cycle(8)
+
+	mate := c.MaximumMatching(g)
+	for i := range mate {
+		mate[i] = -99
+	}
+	if err := matching.Verify(g, c.MaximumMatching(g)); err != nil {
+		t.Errorf("mate mutation leaked into cache: %v", err)
+	}
+
+	ec, err := c.MinimumEdgeCover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ec {
+		ec[i] = graph.NewEdge(0, 1)
+	}
+	ec2, err := c.MinimumEdgeCover(g)
+	if err != nil || !cover.IsEdgeCover(g, ec2) {
+		t.Errorf("edge-cover mutation leaked into cache (err=%v)", err)
+	}
+
+	ts := c.Tuples(g, 2)
+	ts[0] = ts[len(ts)-1]
+	if got := c.Tuples(g, 2); !got[0].Equal(core.EnumerateTuples(g, 2)[0]) {
+		t.Error("tuple-slice mutation leaked into cache")
+	}
+
+	v, err := c.GameValue(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Rat).Set(v)
+	v.Add(v, big.NewRat(17, 1))
+	again, err := c.GameValue(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cmp(want) != 0 {
+		t.Errorf("rat mutation leaked into cache: %v, want %v", again, want)
+	}
+}
+
+// TestCacheConcurrentLookups hammers one cache from many goroutines —
+// mutating every returned value — and checks all lookups agree with the
+// fresh computation. Run under -race this is the concurrency-safety
+// property of the memoization layer.
+func TestCacheConcurrentLookups(t *testing.T) {
+	graphs := randomCacheWorkload(11, 4)
+	c := newStructCache()
+	wants := make([]*big.Rat, len(graphs))
+	rhos := make([]int, len(graphs))
+	for i, g := range graphs {
+		value, _, _, err := core.GameValue(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = value
+		rho, err := cover.EdgeCoverNumber(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhos[i] = rho
+	}
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*len(graphs)*4)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				for i, g := range graphs {
+					v, err := c.GameValue(g, 1)
+					if err != nil {
+						errs <- err.Error()
+						continue
+					}
+					if v.Cmp(wants[i]) != 0 {
+						errs <- "concurrent value lookup disagrees with fresh computation"
+					}
+					v.Add(v, big.NewRat(int64(w+1), 1)) // sabotage our copy
+
+					rho, err := c.EdgeCoverNumber(g)
+					if err != nil {
+						errs <- err.Error()
+						continue
+					}
+					if rho != rhos[i] {
+						errs <- "concurrent rho lookup disagrees with fresh computation"
+					}
+					mate := c.MaximumMatching(g)
+					mate[0] = -7 // sabotage our copy
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestCacheKeysAreStructural: two independently built but identical graphs
+// share one cache entry, so cross-table probes of the same family hit.
+func TestCacheKeysAreStructural(t *testing.T) {
+	c := newStructCache()
+	c.MaximumMatching(graph.Cycle(6))
+	c.MaximumMatching(graph.Cycle(6)) // distinct *Graph, same structure
+	mates, _, _, _ := c.Size()
+	if mates != 1 {
+		t.Errorf("identical graphs created %d entries, want 1", mates)
+	}
+	c.MaximumMatching(graph.Cycle(7))
+	if mates, _, _, _ = c.Size(); mates != 2 {
+		t.Errorf("distinct graphs share entries: %d, want 2", mates)
+	}
+}
+
+// TestCacheIsolatedVertexError: cover lookups surface ErrIsolatedVertex
+// like the uncached API, and cache nothing for the failing graph.
+func TestCacheIsolatedVertexError(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := newStructCache()
+	if _, err := c.MinimumEdgeCover(g); err == nil {
+		t.Error("want ErrIsolatedVertex for a graph with an isolated vertex")
+	}
+	if _, err := c.EdgeCoverNumber(g); err == nil {
+		t.Error("want ErrIsolatedVertex from EdgeCoverNumber")
+	}
+	if _, covers, _, _ := c.Size(); covers != 0 {
+		t.Errorf("failed lookup cached %d covers, want 0", covers)
+	}
+}

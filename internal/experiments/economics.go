@@ -47,71 +47,86 @@ func E12ProtectionEconomics(cfg Config) (Table, error) {
 		}...)
 	}
 
+	// The maxmin-oracle probes dominate the whole suite's runtime (exact
+	// simplex over up to C(m,k) tuple columns), so this table decomposes
+	// into one runner cell per (graph, k): the cheap k=1 base solve in the
+	// declaration phase fixes each workload's probe budget, then the
+	// expensive LP cells run on the worker pool.
+	r := newRunner(cfg)
+	var cells []Cell
 	for _, w := range workloads {
 		base, err := core.SolveTupleModel(w.g, nu, 1)
 		if err != nil {
-			return t, fmt.Errorf("experiments: E12 %s: %w", w.name, err)
+			return Table{}, fmt.Errorf("experiments: E12 %s: %w", w.name, err)
 		}
 		isSize := len(base.VPSupport)
 		k50 := (isSize + 1) / 2 // smallest k with k/|IS| >= 1/2
-		half := big.NewRat(1, 2)
 
 		for _, k := range []int{1, k50, isSize} {
 			if k < 1 || k > isSize {
 				continue
 			}
-			ne, err := core.SolveTupleModel(w.g, nu, k)
-			if err != nil {
-				return t, fmt.Errorf("experiments: E12 %s k=%d: %w", w.name, k, err)
-			}
-			protection := ne.ProtectionRatio()
-			wantProtection := big.NewRat(int64(k), int64(isSize))
-			ok := protection.Cmp(wantProtection) == 0
-			// k50 really is the 50% frontier.
-			if k == k50 {
-				ok = ok && protection.Cmp(half) >= 0
-				if k50 > 1 {
-					prev := big.NewRat(int64(k50-1), int64(isSize))
-					ok = ok && prev.Cmp(half) < 0
+			w, k := w, k
+			cells = append(cells, func() ([][]string, error) {
+				half := big.NewRat(1, 2)
+				ne, err := core.SolveTupleModel(w.g, nu, k)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: E12 %s k=%d: %w", w.name, k, err)
 				}
-			}
-			// Maxmin optimality via the LP oracle where affordable. Quick
-			// mode keeps the oracle to small tuple spaces so the whole
-			// suite stays fast.
-			maxminCell := "skipped"
-			oracleBudget := 20_000
-			if cfg.Quick {
-				oracleBudget = 1_000
-			}
-			if tupleSpaceWithin(w.g.NumEdges(), k, oracleBudget) {
-				guarantee, err := core.MaxminGuarantee(w.g, nu, k)
-				switch {
-				case err == nil:
-					agree := ne.DefenderGain().Cmp(guarantee) == 0
-					maxminCell = fmt.Sprint(agree)
-					ok = ok && agree
-				case errors.Is(err, core.ErrValueTooLarge):
-					// Tuple space too large: structural guarantees only.
-				default:
-					return t, fmt.Errorf("experiments: E12 %s k=%d: %w", w.name, k, err)
+				protection := ne.ProtectionRatio()
+				wantProtection := big.NewRat(int64(k), int64(isSize))
+				ok := protection.Cmp(wantProtection) == 0
+				// k50 really is the 50% frontier.
+				if k == k50 {
+					ok = ok && protection.Cmp(half) >= 0
+					if k50 > 1 {
+						prev := big.NewRat(int64(k50-1), int64(isSize))
+						ok = ok && prev.Cmp(half) < 0
+					}
 				}
-			}
-			t.AddRow(
-				w.name,
-				fmt.Sprint(isSize),
-				fmt.Sprint(k),
-				protection.RatString(),
-				fmt.Sprint(k50),
-				maxminCell,
-				verdict(ok),
-			)
+				// Maxmin optimality via the LP oracle where affordable. Quick
+				// mode keeps the oracle to small tuple spaces so the whole
+				// suite stays fast.
+				maxminCell := "skipped"
+				oracleBudget := 20_000
+				if cfg.Quick {
+					oracleBudget = 1_000
+				}
+				if tupleSpaceWithin(w.g.NumEdges(), k, oracleBudget) {
+					guarantee, err := core.MaxminGuarantee(w.g, nu, k)
+					switch {
+					case err == nil:
+						agree := ne.DefenderGain().Cmp(guarantee) == 0
+						maxminCell = fmt.Sprint(agree)
+						ok = ok && agree
+					case errors.Is(err, core.ErrValueTooLarge):
+						// Tuple space too large: structural guarantees only.
+					default:
+						return nil, fmt.Errorf("experiments: E12 %s k=%d: %w", w.name, k, err)
+					}
+				}
+				return [][]string{{
+					w.name,
+					fmt.Sprint(isSize),
+					fmt.Sprint(k),
+					protection.RatString(),
+					fmt.Sprint(k50),
+					maxminCell,
+					verdict(ok),
+				}}, nil
+			})
 		}
 	}
+	rows, err := r.Run(cells)
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"k50 = ⌈|IS|/2⌉ is the exact 50%-protection budget — a direct corollary of the linearity theorem",
 		"maxmin=gain certifies (via the LP oracle) that the equilibrium defense is the best guaranteed defense",
 	)
-	return t, nil
+	return r.finish(t), nil
 }
 
 // tupleSpaceWithin reports whether C(m, k) <= limit without overflow.

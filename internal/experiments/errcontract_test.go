@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// runnerBacked lists the experiments whose tables are decomposed into
+// runner cells; the fault-injection hook must reach all of them.
+var runnerBacked = map[string]bool{
+	"E1": true, "E2": true, "E4": true, "E5": true, "E6": true,
+	"E7": true, "E8": true, "E10": true, "E12": true,
+}
+
+// TestZeroTableOnError sweeps every registered experiment for the error
+// contract: a builder that returns a non-nil error must return the zero
+// Table, never a partially filled one. The failFirstCell hook makes every
+// runner-backed builder actually take its error path.
+func TestZeroTableOnError(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 1, Workers: 4, failFirstCell: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			table, err := e.Run(cfg)
+			if err != nil {
+				if !reflect.DeepEqual(table, Table{}) {
+					t.Errorf("%s returned a non-zero Table alongside error %v", e.ID, err)
+				}
+				if runnerBacked[e.ID] && !errors.Is(err, errCellFault) {
+					t.Errorf("%s error %v does not wrap the injected fault", e.ID, err)
+				}
+				return
+			}
+			if runnerBacked[e.ID] {
+				t.Errorf("%s uses the runner but survived the injected cell fault", e.ID)
+			}
+		})
+	}
+}
+
+// TestRunnerBackedListMatchesStats cross-checks the runnerBacked list
+// against reality: an experiment reports cell stats iff it is listed.
+func TestRunnerBackedListMatchesStats(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 1, Workers: 2}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			table, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if got := table.Stats.Cells > 0; got != runnerBacked[e.ID] {
+				t.Errorf("%s: cells=%d but runnerBacked=%v", e.ID, table.Stats.Cells, runnerBacked[e.ID])
+			}
+		})
+	}
+}

@@ -11,6 +11,8 @@ import (
 // E1PureExistence regenerates Theorem 3.1 and Corollary 3.3 as a frontier
 // table: for each graph family and each k, pure equilibria exist exactly
 // when k reaches the edge-cover number ρ(G), and never while n >= 2k+1.
+// Each (family, k) probe is one runner cell; ρ(G) comes from the shared
+// structure cache so the frontier sweep computes each blossom matching once.
 func E1PureExistence(cfg Config) (Table, error) {
 	t := Table{
 		ID:    "E1",
@@ -50,49 +52,59 @@ func E1PureExistence(cfg Config) (Table, error) {
 		)
 	}
 
+	r := newRunner(cfg)
+	var cells []Cell
 	for _, fam := range families {
-		rho, err := cover.EdgeCoverNumber(fam.g)
+		rho, err := stcache.EdgeCoverNumber(fam.g)
 		if err != nil {
-			return t, fmt.Errorf("experiments: E1 %s: %w", fam.name, err)
+			return Table{}, fmt.Errorf("experiments: E1 %s: %w", fam.name, err)
 		}
 		// Probe around the frontier: below, at, and above rho.
-		ks := []int{rho - 2, rho - 1, rho, rho + 1, fam.g.NumEdges()}
-		for _, k := range ks {
+		for _, k := range []int{rho - 2, rho - 1, rho, rho + 1, fam.g.NumEdges()} {
 			if k < 1 || k > fam.g.NumEdges() {
 				continue
 			}
-			has, err := core.HasPureNE(fam.g, k)
-			if err != nil {
-				return t, fmt.Errorf("experiments: E1 %s k=%d: %w", fam.name, k, err)
-			}
-			theory := rho <= k
-			cor33 := fam.g.NumVertices() >= 2*k+1
-			// Consistency: theorem matches, and Cor 3.3 never contradicts.
-			ok := has == theory && (!cor33 || !has)
-			t.AddRow(
-				fam.name,
-				fmt.Sprint(fam.g.NumVertices()),
-				fmt.Sprint(fam.g.NumEdges()),
-				fmt.Sprint(rho),
-				fmt.Sprint(k),
-				fmt.Sprint(cor33),
-				fmt.Sprint(has),
-				fmt.Sprint(theory),
-				verdict(ok),
-			)
+			fam, k := fam, k
+			cells = append(cells, func() ([][]string, error) {
+				has, err := core.HasPureNE(fam.g, k)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: E1 %s k=%d: %w", fam.name, k, err)
+				}
+				theory := rho <= k
+				cor33 := fam.g.NumVertices() >= 2*k+1
+				// Consistency: theorem matches, and Cor 3.3 never contradicts.
+				ok := has == theory && (!cor33 || !has)
+				return [][]string{{
+					fam.name,
+					fmt.Sprint(fam.g.NumVertices()),
+					fmt.Sprint(fam.g.NumEdges()),
+					fmt.Sprint(rho),
+					fmt.Sprint(k),
+					fmt.Sprint(cor33),
+					fmt.Sprint(has),
+					fmt.Sprint(theory),
+					verdict(ok),
+				}}, nil
+			})
 		}
 	}
+	rows, err := r.Run(cells)
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"rho(G) = n - mu(G) by Gallai's identity, computed with blossom matching",
 		"'theory' column is the Thm 3.1 prediction rho <= k; 'check' also asserts Cor 3.3 consistency",
 	)
-	return t, nil
+	return r.finish(t), nil
 }
 
 // E6Characterization regenerates Corollary 4.11: the fraction of graphs
 // admitting k-matching equilibria, decided exactly by maximal-independent-
 // set enumeration on small instances, with the heuristic search compared
-// against the exact decision.
+// against the exact decision. Each ensemble is one runner cell (its sampled
+// graphs share nothing across ensembles).
 func E6Characterization(cfg Config) (Table, error) {
 	t := Table{
 		ID:    "E6",
@@ -121,46 +133,56 @@ func E6Characterization(cfg Config) (Table, error) {
 		{"small-world WS(14,4,.2)", func(i int) *graph.Graph { return graph.WattsStrogatz(14, 4, 0.2, cfg.Seed+4000+int64(i)) }},
 	}
 
-	for _, ens := range ensembles {
-		var admit, found, missed, falsePos int
-		for i := 0; i < samples; i++ {
-			g := ens.gen(i)
-			_, exactErr := cover.FindNEPartitionExact(g, 0)
-			exists := exactErr == nil
-			if exists {
-				admit++
+	r := newRunner(cfg)
+	cells := make([]Cell, len(ensembles))
+	for i, ens := range ensembles {
+		ens := ens
+		cells[i] = func() ([][]string, error) {
+			var admit, found, missed, falsePos int
+			for i := 0; i < samples; i++ {
+				g := ens.gen(i)
+				_, exactErr := cover.FindNEPartitionExact(g, 0)
+				exists := exactErr == nil
+				if exists {
+					admit++
+				}
+				_, greedyErr := cover.FindNEPartitionGreedy(g, 16, cfg.Seed)
+				switch {
+				case greedyErr == nil && exists:
+					found++
+				case greedyErr == nil && !exists:
+					falsePos++ // impossible if the verifier is sound
+				case greedyErr != nil && exists:
+					missed++
+				}
 			}
-			_, greedyErr := cover.FindNEPartitionGreedy(g, 16, cfg.Seed)
-			switch {
-			case greedyErr == nil && exists:
-				found++
-			case greedyErr == nil && !exists:
-				falsePos++ // impossible if the verifier is sound
-			case greedyErr != nil && exists:
-				missed++
+			// Self-check: no false positives; bipartite ensembles always admit.
+			ok := falsePos == 0
+			if ens.name == "bipartite 6+6" || ens.name == "even cycles" {
+				ok = ok && admit == samples
 			}
+			if ens.name == "odd cycles" {
+				ok = ok && admit == 0
+			}
+			return [][]string{{
+				ens.name,
+				fmt.Sprint(samples),
+				fmt.Sprint(admit),
+				fmt.Sprint(found),
+				fmt.Sprint(missed),
+				fmt.Sprint(falsePos),
+				verdict(ok),
+			}}, nil
 		}
-		// Self-check: no false positives; bipartite ensembles always admit.
-		ok := falsePos == 0
-		if ens.name == "bipartite 6+6" || ens.name == "even cycles" {
-			ok = ok && admit == samples
-		}
-		if ens.name == "odd cycles" {
-			ok = ok && admit == 0
-		}
-		t.AddRow(
-			ens.name,
-			fmt.Sprint(samples),
-			fmt.Sprint(admit),
-			fmt.Sprint(found),
-			fmt.Sprint(missed),
-			fmt.Sprint(falsePos),
-			verdict(ok),
-		)
 	}
+	rows, err := r.Run(cells)
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"exact decision enumerates maximal independent sets (Bron–Kerbosch) and tests the Hall/SDR condition",
 		"bipartite graphs always admit (Thm 5.1); odd cycles and cliques never do",
 	)
-	return t, nil
+	return r.finish(t), nil
 }

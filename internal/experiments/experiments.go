@@ -5,6 +5,10 @@
 // equilibrium verification, the linear-in-k defender gain, Monte-Carlo
 // validation, and running-time scaling. EXPERIMENTS.md records expected
 // versus measured output for every table; cmd/experiments prints them.
+//
+// Tables are built from independent (graph, k) cells executed on a bounded
+// worker pool (see Runner): parallel runs reassemble rows in declared order,
+// so the rendered output is independent of the worker count.
 package experiments
 
 import (
@@ -20,6 +24,16 @@ type Config struct {
 	// Seed feeds every randomized workload; experiments are deterministic
 	// for a fixed Config.
 	Seed int64
+	// Workers bounds the cell worker pool of every table builder;
+	// <= 0 means runtime.GOMAXPROCS(0). Output is byte-identical for any
+	// worker count (timing columns excepted; see Table.CanonicalRender).
+	Workers int
+
+	// failFirstCell is a test hook: when set, every Runner fails its first
+	// cell with errCellFault, exercising each builder's error path so the
+	// zero-table-on-error contract can be swept without contriving real
+	// failures per experiment.
+	failFirstCell bool
 }
 
 // DefaultConfig is the configuration used by cmd/experiments.
@@ -33,6 +47,14 @@ type Table struct {
 	Headers []string
 	Rows    [][]string
 	Notes   []string
+	// Volatile lists column indices whose cells are environment-dependent
+	// (wall-clock timings). Render prints them verbatim; CanonicalRender
+	// masks them so golden files and determinism checks stay reproducible.
+	Volatile []int
+	// Stats carries the runner's execution metrics for the builders that
+	// run on the cell pool. It is not rendered; cmd/experiments uses it
+	// for the -bench-out emission.
+	Stats RunStats
 }
 
 // AddRow appends a row of stringified cells.
@@ -41,7 +63,35 @@ func (t *Table) AddRow(cells ...string) {
 }
 
 // Render produces an aligned plain-text rendering of the table.
-func (t Table) Render() string {
+func (t Table) Render() string { return t.render(false) }
+
+// CanonicalRender renders the table with every volatile (timing) cell
+// replaced by the placeholder "~". Two runs of the same experiment with the
+// same Config — at any worker counts — produce byte-identical canonical
+// renderings; the golden-table suite asserts exactly that.
+func (t Table) CanonicalRender() string { return t.render(true) }
+
+func (t Table) render(maskVolatile bool) string {
+	rows := t.Rows
+	if maskVolatile && len(t.Volatile) > 0 {
+		volatile := make(map[int]bool, len(t.Volatile))
+		for _, c := range t.Volatile {
+			volatile[c] = true
+		}
+		rows = make([][]string, len(t.Rows))
+		for i, row := range t.Rows {
+			masked := make([]string, len(row))
+			for j, cell := range row {
+				if volatile[j] {
+					masked[j] = "~"
+				} else {
+					masked[j] = cell
+				}
+			}
+			rows[i] = masked
+		}
+	}
+
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
 	fmt.Fprintf(&sb, "claim: %s\n", t.Claim)
@@ -50,7 +100,7 @@ func (t Table) Render() string {
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
-	for _, row := range t.Rows {
+	for _, row := range rows {
 		for i, cell := range row {
 			if i < len(widths) && len(cell) > widths[i] {
 				widths[i] = len(cell)
@@ -74,7 +124,7 @@ func (t Table) Render() string {
 		sb.WriteString(strings.Repeat("-", w))
 	}
 	sb.WriteByte('\n')
-	for _, row := range t.Rows {
+	for _, row := range rows {
 		writeRow(row)
 	}
 	for _, n := range t.Notes {
@@ -95,16 +145,18 @@ func (t Table) Failures() [][]string {
 	return bad
 }
 
-// Runner is one experiment entry point.
-type Runner struct {
+// Experiment is one experiment entry point. Every builder honors the
+// zero-table contract: on a non-nil error the returned Table is the zero
+// value, never a partially filled table.
+type Experiment struct {
 	ID   string
 	Name string
 	Run  func(Config) (Table, error)
 }
 
 // All lists every experiment in presentation order.
-func All() []Runner {
-	return []Runner{
+func All() []Experiment {
+	return []Experiment{
 		{ID: "E1", Name: "pure-existence", Run: E1PureExistence},
 		{ID: "E2", Name: "gain-vs-k", Run: E2GainVsK},
 		{ID: "E3", Name: "reduction-roundtrip", Run: E3ReductionRoundTrip},

@@ -47,7 +47,7 @@ func E9Extensions(cfg Config) (Table, error) {
 			}
 			ne, err := core.PerfectMatchingNE(inst.g, nu, k)
 			if err != nil {
-				return t, fmt.Errorf("experiments: E9 %s k=%d: %w", inst.name, k, err)
+				return Table{}, fmt.Errorf("experiments: E9 %s k=%d: %w", inst.name, k, err)
 			}
 			verErr := core.VerifyNE(ne.Game, ne.Profile)
 			want := big.NewRat(2*int64(k)*nu, int64(n))
@@ -71,7 +71,7 @@ func E9Extensions(cfg Config) (Table, error) {
 	} {
 		ne, err := core.RegularGraphEdgeNE(inst.g, nu)
 		if err != nil {
-			return t, fmt.Errorf("experiments: E9 regular %s: %w", inst.name, err)
+			return Table{}, fmt.Errorf("experiments: E9 regular %s: %w", inst.name, err)
 		}
 		verErr := core.VerifyNE(ne.Game, ne.Profile)
 		want := big.NewRat(2*nu, int64(inst.g.NumVertices()))
@@ -98,12 +98,12 @@ func E9Extensions(cfg Config) (Table, error) {
 		n := inst.g.NumVertices()
 		exists, path, err := core.HasPurePathNE(inst.g, n-1)
 		if err != nil {
-			return t, fmt.Errorf("experiments: E9 path %s: %w", inst.name, err)
+			return Table{}, fmt.Errorf("experiments: E9 path %s: %w", inst.name, err)
 		}
 		// Below the frontier there is never a pure path NE.
 		below, _, err := core.HasPurePathNE(inst.g, n-2)
 		if err != nil {
-			return t, fmt.Errorf("experiments: E9 path %s: %w", inst.name, err)
+			return Table{}, fmt.Errorf("experiments: E9 path %s: %w", inst.name, err)
 		}
 		ok := exists == inst.hamilton && !below && (!exists || len(path) == n)
 		t.AddRow(

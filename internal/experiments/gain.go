@@ -42,6 +42,8 @@ func bipartiteWorkloads(cfg Config) []struct {
 // 4.7/4.10): the defender's expected gain in a k-matching equilibrium is
 // exactly k times the Edge-model matching-equilibrium gain — linear in the
 // defender's power. Every equilibrium in the table is verified exactly.
+// Each workload graph is one runner cell (its probed ks depend on the
+// k=1 base solve, so the per-graph sweep stays together).
 func E2GainVsK(cfg Config) (Table, error) {
 	t := Table{
 		ID:    "E2",
@@ -52,54 +54,67 @@ func E2GainVsK(cfg Config) (Table, error) {
 		},
 	}
 	const nu = 12
-	for _, w := range bipartiteWorkloads(cfg) {
-		base, err := core.SolveTupleModel(w.g, nu, 1)
-		if err != nil {
-			return t, fmt.Errorf("experiments: E2 %s: %w", w.name, err)
-		}
-		gain1 := base.DefenderGain()
-		maxK := len(base.EdgeSupport)
-		ks := []int{1, 2, 3, maxK / 2, maxK}
-		seen := map[int]bool{}
-		for _, k := range ks {
-			if k < 1 || k > maxK || seen[k] {
-				continue
-			}
-			seen[k] = true
-			ne, err := core.SolveTupleModel(w.g, nu, k)
+	workloads := bipartiteWorkloads(cfg)
+	r := newRunner(cfg)
+	cells := make([]Cell, len(workloads))
+	for i, w := range workloads {
+		w := w
+		cells[i] = func() ([][]string, error) {
+			base, err := core.SolveTupleModel(w.g, nu, 1)
 			if err != nil {
-				return t, fmt.Errorf("experiments: E2 %s k=%d: %w", w.name, k, err)
+				return nil, fmt.Errorf("experiments: E2 %s: %w", w.name, err)
 			}
-			verErr := core.VerifyNE(ne.Game, ne.Profile)
-			gain := ne.DefenderGain()
-			ratio := new(big.Rat).Quo(gain, gain1)
-			wantRatio := big.NewRat(int64(k), 1)
-			ok := verErr == nil && ratio.Cmp(wantRatio) == 0
-			t.AddRow(
-				w.name,
-				fmt.Sprint(w.g.NumVertices()),
-				fmt.Sprint(len(ne.VPSupport)),
-				fmt.Sprint(len(ne.EdgeSupport)),
-				fmt.Sprint(nu),
-				fmt.Sprint(k),
-				gain.RatString(),
-				ratio.RatString(),
-				fmt.Sprint(verErr == nil),
-				verdict(ok),
-			)
+			gain1 := base.DefenderGain()
+			maxK := len(base.EdgeSupport)
+			ks := []int{1, 2, 3, maxK / 2, maxK}
+			seen := map[int]bool{}
+			var rows [][]string
+			for _, k := range ks {
+				if k < 1 || k > maxK || seen[k] {
+					continue
+				}
+				seen[k] = true
+				ne, err := core.SolveTupleModel(w.g, nu, k)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: E2 %s k=%d: %w", w.name, k, err)
+				}
+				verErr := core.VerifyNE(ne.Game, ne.Profile)
+				gain := ne.DefenderGain()
+				ratio := new(big.Rat).Quo(gain, gain1)
+				wantRatio := big.NewRat(int64(k), 1)
+				ok := verErr == nil && ratio.Cmp(wantRatio) == 0
+				rows = append(rows, []string{
+					w.name,
+					fmt.Sprint(w.g.NumVertices()),
+					fmt.Sprint(len(ne.VPSupport)),
+					fmt.Sprint(len(ne.EdgeSupport)),
+					fmt.Sprint(nu),
+					fmt.Sprint(k),
+					gain.RatString(),
+					ratio.RatString(),
+					fmt.Sprint(verErr == nil),
+					verdict(ok),
+				})
+			}
+			return rows, nil
 		}
 	}
+	rows, err := r.Run(cells)
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"gain is exact rational arithmetic; ratio column must equal k exactly",
 		"verifiedNE runs the exact Theorem 3.4 best-response verifier on every profile",
 	)
-	return t, nil
+	return r.finish(t), nil
 }
 
 // E7HitProfile regenerates Claims 4.3/4.4 and Theorem 3.4 condition 2: in a
 // k-matching equilibrium every attacker-support vertex is hit with
 // probability exactly k/|EC| and no vertex is hit less — the defender's
-// quality of protection grows linearly in k.
+// quality of protection grows linearly in k. One runner cell per workload.
 func E7HitProfile(cfg Config) (Table, error) {
 	t := Table{
 		ID:    "E7",
@@ -109,54 +124,67 @@ func E7HitProfile(cfg Config) (Table, error) {
 			"graph", "k", "k/|EC|", "minHit(support)", "maxHit(support)", "minHit(all)", "check",
 		},
 	}
-	for _, w := range bipartiteWorkloads(cfg) {
-		base, err := core.SolveTupleModel(w.g, 6, 1)
-		if err != nil {
-			return t, fmt.Errorf("experiments: E7 %s: %w", w.name, err)
-		}
-		maxK := len(base.EdgeSupport)
-		for _, k := range []int{1, 2, maxK} {
-			if k < 1 || k > maxK {
-				continue
-			}
-			ne, err := core.SolveTupleModel(w.g, 6, k)
+	workloads := bipartiteWorkloads(cfg)
+	r := newRunner(cfg)
+	cells := make([]Cell, len(workloads))
+	for i, w := range workloads {
+		w := w
+		cells[i] = func() ([][]string, error) {
+			base, err := core.SolveTupleModel(w.g, 6, 1)
 			if err != nil {
-				return t, fmt.Errorf("experiments: E7 %s k=%d: %w", w.name, k, err)
+				return nil, fmt.Errorf("experiments: E7 %s: %w", w.name, err)
 			}
-			hit := ne.Game.HitProbabilities(ne.Profile)
-			want := ne.HitProbability()
+			maxK := len(base.EdgeSupport)
+			var rows [][]string
+			for _, k := range []int{1, 2, maxK} {
+				if k < 1 || k > maxK {
+					continue
+				}
+				ne, err := core.SolveTupleModel(w.g, 6, k)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: E7 %s k=%d: %w", w.name, k, err)
+				}
+				hit := ne.Game.HitProbabilities(ne.Profile)
+				want := ne.HitProbability()
 
-			minSup := new(big.Rat).Set(hit[ne.VPSupport[0]])
-			maxSup := new(big.Rat).Set(minSup)
-			for _, v := range ne.VPSupport {
-				if hit[v].Cmp(minSup) < 0 {
-					minSup.Set(hit[v])
+				minSup := new(big.Rat).Set(hit[ne.VPSupport[0]])
+				maxSup := new(big.Rat).Set(minSup)
+				for _, v := range ne.VPSupport {
+					if hit[v].Cmp(minSup) < 0 {
+						minSup.Set(hit[v])
+					}
+					if hit[v].Cmp(maxSup) > 0 {
+						maxSup.Set(hit[v])
+					}
 				}
-				if hit[v].Cmp(maxSup) > 0 {
-					maxSup.Set(hit[v])
+				minAll := new(big.Rat).Set(hit[0])
+				for _, h := range hit {
+					if h.Cmp(minAll) < 0 {
+						minAll.Set(h)
+					}
 				}
+				ok := minSup.Cmp(want) == 0 && maxSup.Cmp(want) == 0 && minAll.Cmp(want) == 0
+				rows = append(rows, []string{
+					w.name,
+					fmt.Sprint(k),
+					want.RatString(),
+					minSup.RatString(),
+					maxSup.RatString(),
+					minAll.RatString(),
+					verdict(ok),
+				})
 			}
-			minAll := new(big.Rat).Set(hit[0])
-			for _, h := range hit {
-				if h.Cmp(minAll) < 0 {
-					minAll.Set(h)
-				}
-			}
-			ok := minSup.Cmp(want) == 0 && maxSup.Cmp(want) == 0 && minAll.Cmp(want) == 0
-			t.AddRow(
-				w.name,
-				fmt.Sprint(k),
-				want.RatString(),
-				minSup.RatString(),
-				maxSup.RatString(),
-				minAll.RatString(),
-				verdict(ok),
-			)
+			return rows, nil
 		}
 	}
+	rows, err := r.Run(cells)
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"uniform hit probability on the support equals the global minimum: attackers are indifferent",
 		"quality of protection k/|EC| is the per-attacker arrest probability — linear in k",
 	)
-	return t, nil
+	return r.finish(t), nil
 }

@@ -11,7 +11,9 @@ import (
 // E5MonteCarlo regenerates the expected-profit formulas (equations (1)-(2),
 // Lemma 4.1) empirically: playing the k-matching equilibrium for many
 // rounds, the defender's average catch must converge on k·ν/|IS| and every
-// attacker's escape frequency on 1 − k/|EC|, within sampling error.
+// attacker's escape frequency on 1 − k/|EC|, within sampling error. One
+// runner cell per workload; every cell derives its simulation seed from
+// cfg.Seed and its own k, so results are independent of scheduling.
 func E5MonteCarlo(cfg Config) (Table, error) {
 	t := Table{
 		ID:    "E5",
@@ -26,51 +28,64 @@ func E5MonteCarlo(cfg Config) (Table, error) {
 		rounds = 4_000
 	}
 	const nu = 9
-	for _, w := range bipartiteWorkloads(cfg) {
-		base, err := core.SolveTupleModel(w.g, nu, 1)
-		if err != nil {
-			return t, fmt.Errorf("experiments: E5 %s: %w", w.name, err)
-		}
-		maxK := len(base.EdgeSupport)
-		for _, k := range []int{1, maxK / 2} {
-			if k < 1 || k > maxK {
-				continue
-			}
-			ne, err := core.SolveTupleModel(w.g, nu, k)
+	workloads := bipartiteWorkloads(cfg)
+	r := newRunner(cfg)
+	cells := make([]Cell, len(workloads))
+	for i, w := range workloads {
+		w := w
+		cells[i] = func() ([][]string, error) {
+			base, err := core.SolveTupleModel(w.g, nu, 1)
 			if err != nil {
-				return t, fmt.Errorf("experiments: E5 %s k=%d: %w", w.name, k, err)
+				return nil, fmt.Errorf("experiments: E5 %s: %w", w.name, err)
 			}
-			res, err := sim.Run(ne.Game, ne.Profile, rounds, cfg.Seed+int64(k))
-			if err != nil {
-				return t, fmt.Errorf("experiments: E5 %s k=%d: %w", w.name, k, err)
-			}
-			// Worst per-attacker deviation from the predicted escape rate.
-			hitProb, _ := ne.HitProbability().Float64()
-			wantEscape := 1 - hitProb
-			worst := 0.0
-			for _, r := range res.EscapeRate {
-				if d := math.Abs(r - wantEscape); d > worst {
-					worst = d
+			maxK := len(base.EdgeSupport)
+			var rows [][]string
+			for _, k := range []int{1, maxK / 2} {
+				if k < 1 || k > maxK {
+					continue
 				}
+				ne, err := core.SolveTupleModel(w.g, nu, k)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: E5 %s k=%d: %w", w.name, k, err)
+				}
+				res, err := sim.Run(ne.Game, ne.Profile, rounds, cfg.Seed+int64(k))
+				if err != nil {
+					return nil, fmt.Errorf("experiments: E5 %s k=%d: %w", w.name, k, err)
+				}
+				// Worst per-attacker deviation from the predicted escape rate.
+				hitProb, _ := ne.HitProbability().Float64()
+				wantEscape := 1 - hitProb
+				worst := 0.0
+				for _, escRate := range res.EscapeRate {
+					if d := math.Abs(escRate - wantEscape); d > worst {
+						worst = d
+					}
+				}
+				z := res.ZScore()
+				ok := math.Abs(z) <= 4 && worst <= 0.03
+				rows = append(rows, []string{
+					w.name,
+					fmt.Sprint(nu),
+					fmt.Sprint(k),
+					fmt.Sprint(res.Rounds),
+					fmt.Sprintf("%.4f", res.ExpectedCaught),
+					fmt.Sprintf("%.4f", res.MeanCaught),
+					fmt.Sprintf("%+.2f", z),
+					fmt.Sprintf("%.4f", worst),
+					verdict(ok),
+				})
 			}
-			z := res.ZScore()
-			ok := math.Abs(z) <= 4 && worst <= 0.03
-			t.AddRow(
-				w.name,
-				fmt.Sprint(nu),
-				fmt.Sprint(k),
-				fmt.Sprint(res.Rounds),
-				fmt.Sprintf("%.4f", res.ExpectedCaught),
-				fmt.Sprintf("%.4f", res.MeanCaught),
-				fmt.Sprintf("%+.2f", z),
-				fmt.Sprintf("%.4f", worst),
-				verdict(ok),
-			)
+			return rows, nil
 		}
 	}
+	rows, err := r.Run(cells)
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"z is the standardized deviation of the empirical mean; |z| <= 4 expected",
 		"escape-err is the worst per-attacker deviation from 1 − k/|EC|",
 	)
-	return t, nil
+	return r.finish(t), nil
 }

@@ -14,7 +14,9 @@ import (
 // structure-free LP minimax oracle: for ν = 1 the game is constant-sum, so
 // every equilibrium shares one value. The oracle enumerates all C(m,k)
 // tuples and solves the matrix game by exact simplex — if any construction
-// were wrong, its predicted value would disagree here.
+// were wrong, its predicted value would disagree here. Each (graph, k)
+// probe is one runner cell; the LP values come from the shared structure
+// cache, so probes repeated by other tables (E12, E14, E16 zoos) are free.
 func E10ValueOracle(cfg Config) (Table, error) {
 	t := Table{
 		ID:    "E10",
@@ -47,31 +49,41 @@ func E10ValueOracle(cfg Config) (Table, error) {
 		probes = probes[:6]
 	}
 
+	r := newRunner(cfg)
+	var cells []Cell
 	for _, p := range probes {
 		for _, k := range p.ks {
-			value, _, _, err := core.GameValue(p.g, k)
-			if err != nil {
-				return t, fmt.Errorf("experiments: E10 %s k=%d: %w", p.name, k, err)
-			}
-			prediction, source, err := structuredPrediction(p.g, k)
-			if err != nil {
-				return t, fmt.Errorf("experiments: E10 %s k=%d: %w", p.name, k, err)
-			}
-			ok := prediction == nil || value.Cmp(prediction) == 0
-			pred := "none known"
-			if prediction != nil {
-				pred = prediction.RatString()
-			}
-			t.AddRow(
-				p.name, fmt.Sprint(k), value.RatString(), pred, source, verdict(ok),
-			)
+			p, k := p, k
+			cells = append(cells, func() ([][]string, error) {
+				value, err := stcache.GameValue(p.g, k)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: E10 %s k=%d: %w", p.name, k, err)
+				}
+				prediction, source, err := structuredPrediction(p.g, k)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: E10 %s k=%d: %w", p.name, k, err)
+				}
+				ok := prediction == nil || value.Cmp(prediction) == 0
+				pred := "none known"
+				if prediction != nil {
+					pred = prediction.RatString()
+				}
+				return [][]string{{
+					p.name, fmt.Sprint(k), value.RatString(), pred, source, verdict(ok),
+				}}, nil
+			})
 		}
 	}
+	rows, err := r.Run(cells)
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"the LP oracle enumerates every defender tuple and solves the zero-sum game by exact simplex",
 		"'none known' rows (no structural construction applies) still report the true value",
 	)
-	return t, nil
+	return r.finish(t), nil
 }
 
 // structuredPrediction returns the hit-probability prediction of whichever
@@ -131,15 +143,15 @@ func E11LearningDynamics(cfg Config) (Table, error) {
 	}
 
 	for _, inst := range instances {
-		value, _, _, err := core.GameValue(inst.g, 1)
+		value, err := stcache.GameValue(inst.g, 1)
 		if err != nil {
-			return t, fmt.Errorf("experiments: E11 %s: %w", inst.name, err)
+			return Table{}, fmt.Errorf("experiments: E11 %s: %w", inst.name, err)
 		}
 		valueF, _ := value.Float64()
 
 		fp, err := dynamics.FictitiousPlay(inst.g, fpRounds)
 		if err != nil {
-			return t, fmt.Errorf("experiments: E11 %s fp: %w", inst.name, err)
+			return Table{}, fmt.Errorf("experiments: E11 %s fp: %w", inst.name, err)
 		}
 		gapF, _ := fp.Gap().Float64()
 		lo, _ := fp.LowerBound.Float64()
@@ -153,7 +165,7 @@ func E11LearningDynamics(cfg Config) (Table, error) {
 
 		mw, err := dynamics.MultiplicativeWeights(inst.g, mwRounds, 0)
 		if err != nil {
-			return t, fmt.Errorf("experiments: E11 %s mw: %w", inst.name, err)
+			return Table{}, fmt.Errorf("experiments: E11 %s mw: %w", inst.name, err)
 		}
 		okMW := mw.LowerBound <= valueF+1e-9 && mw.UpperBound >= valueF-1e-9 &&
 			mw.UpperBound-mw.LowerBound <= 0.15
@@ -166,7 +178,7 @@ func E11LearningDynamics(cfg Config) (Table, error) {
 
 		rm, err := dynamics.RegretMatching(inst.g, 4*mwRounds, cfg.Seed)
 		if err != nil {
-			return t, fmt.Errorf("experiments: E11 %s rm: %w", inst.name, err)
+			return Table{}, fmt.Errorf("experiments: E11 %s rm: %w", inst.name, err)
 		}
 		// Randomized play: allow sampling slack around the value.
 		const slack = 0.05
@@ -188,13 +200,13 @@ func E11LearningDynamics(cfg Config) (Table, error) {
 		if inst.g.NumEdges() < 2 {
 			continue
 		}
-		value, _, _, err := core.GameValue(inst.g, 2)
+		value, err := stcache.GameValue(inst.g, 2)
 		if err != nil {
-			return t, fmt.Errorf("experiments: E11 %s k=2: %w", inst.name, err)
+			return Table{}, fmt.Errorf("experiments: E11 %s k=2: %w", inst.name, err)
 		}
 		fp, err := dynamics.FictitiousPlayTuple(inst.g, 2, tupleRounds)
 		if err != nil {
-			return t, fmt.Errorf("experiments: E11 %s fp-tuple: %w", inst.name, err)
+			return Table{}, fmt.Errorf("experiments: E11 %s fp-tuple: %w", inst.name, err)
 		}
 		gapF, _ := fp.Gap().Float64()
 		lo, _ := fp.LowerBound.Float64()

@@ -32,13 +32,13 @@ func E15PathModel(cfg Config) (Table, error) {
 		for k := 1; k <= 3 && k <= n/2; k++ {
 			pathNE, err := core.CyclePathNE(g, nu, k)
 			if err != nil {
-				return t, fmt.Errorf("experiments: E15 C%d k=%d: %w", n, k, err)
+				return Table{}, fmt.Errorf("experiments: E15 C%d k=%d: %w", n, k, err)
 			}
 			verOK := core.VerifyPathNE(pathNE.Game, pathNE.Profile) == nil
 			want := big.NewRat(int64(k+1)*nu, int64(n))
 			tupleNE, err := core.PerfectMatchingNE(g, nu, k)
 			if err != nil {
-				return t, fmt.Errorf("experiments: E15 C%d k=%d tuple: %w", n, k, err)
+				return Table{}, fmt.Errorf("experiments: E15 C%d k=%d tuple: %w", n, k, err)
 			}
 			cost := new(big.Rat).Sub(tupleNE.DefenderGain(), pathNE.DefenderGain())
 			ok := verOK && pathNE.DefenderGain().Cmp(want) == 0 &&

@@ -26,7 +26,7 @@ func E3ReductionRoundTrip(cfg Config) (Table, error) {
 	for _, w := range bipartiteWorkloads(cfg) {
 		edgeNE, err := core.SolveEdgeModel(w.g, nu)
 		if err != nil {
-			return t, fmt.Errorf("experiments: E3 %s: %w", w.name, err)
+			return Table{}, fmt.Errorf("experiments: E3 %s: %w", w.name, err)
 		}
 		maxK := len(edgeNE.EdgeSupport)
 		for _, k := range []int{2, 3, maxK} {
@@ -35,12 +35,12 @@ func E3ReductionRoundTrip(cfg Config) (Table, error) {
 			}
 			lifted, err := core.LiftToTupleModel(edgeNE, k)
 			if err != nil {
-				return t, fmt.Errorf("experiments: E3 %s k=%d lift: %w", w.name, k, err)
+				return Table{}, fmt.Errorf("experiments: E3 %s k=%d lift: %w", w.name, k, err)
 			}
 			liftOK := core.VerifyNE(lifted.Game, lifted.Profile) == nil
 			back, err := core.ReduceToEdgeModel(lifted)
 			if err != nil {
-				return t, fmt.Errorf("experiments: E3 %s k=%d reduce: %w", w.name, k, err)
+				return Table{}, fmt.Errorf("experiments: E3 %s k=%d reduce: %w", w.name, k, err)
 			}
 			reduceOK := core.VerifyNE(back.Game, back.Profile) == nil
 			supportsOK := graph.SetsEqual(back.VPSupport, edgeNE.VPSupport) &&

@@ -45,13 +45,13 @@ func E13RobustDefense(cfg Config) (Table, error) {
 		for _, k := range []int{1, 2} {
 			ne, err := core.SolveTupleModel(w.g, nu, k)
 			if err != nil {
-				return t, fmt.Errorf("experiments: E13 %s k=%d: %w", w.name, k, err)
+				return Table{}, fmt.Errorf("experiments: E13 %s k=%d: %w", w.name, k, err)
 			}
 			floor := ne.DefenderGain()
 			for _, behavior := range attackerBehaviors(w.g, ne.VPSupport) {
 				profile := game.NewSymmetricProfile(nu, behavior.strategy, ne.Profile.TP)
 				if err := ne.Game.Validate(profile); err != nil {
-					return t, fmt.Errorf("experiments: E13 %s/%s: %w", w.name, behavior.name, err)
+					return Table{}, fmt.Errorf("experiments: E13 %s/%s: %w", w.name, behavior.name, err)
 				}
 				catch := ne.Game.ExpectedProfitTP(profile)
 				ok := catch.Cmp(floor) >= 0

@@ -53,7 +53,7 @@ func E16CompleteSolver(cfg Config) (Table, error) {
 	for _, z := range zoo {
 		ne, family, err := core.SolveAny(z.g, nu, z.k)
 		if err != nil {
-			return t, fmt.Errorf("experiments: E16 %s k=%d: %w", z.name, z.k, err)
+			return Table{}, fmt.Errorf("experiments: E16 %s k=%d: %w", z.name, z.k, err)
 		}
 		verErr := core.VerifyNE(ne.Game, ne.Profile)
 		t.AddRow(

@@ -57,14 +57,14 @@ func E14WeightedDefense(cfg Config) (Table, error) {
 			for k := 1; k <= maxK; k++ {
 				optimal, _, err := core.WeightedDamageValue(w.g, k, prof.weights)
 				if err != nil {
-					return t, fmt.Errorf("experiments: E14 %s/%s k=%d: %w", w.name, prof.name, k, err)
+					return Table{}, fmt.Errorf("experiments: E14 %s/%s k=%d: %w", w.name, prof.name, k, err)
 				}
 				uniform := uniformDefenseDamage(w.g, k, prof.weights)
 				ok := optimal.Cmp(uniform) <= 0 && optimal.Cmp(prev) <= 0
 				if prof.name == "uniform" {
 					value, _, _, err := core.GameValue(w.g, k)
 					if err != nil {
-						return t, fmt.Errorf("experiments: E14 %s k=%d: %w", w.name, k, err)
+						return Table{}, fmt.Errorf("experiments: E14 %s k=%d: %w", w.name, k, err)
 					}
 					want := new(big.Rat).Sub(big.NewRat(1, 1), value)
 					ok = ok && optimal.Cmp(want) == 0

@@ -33,6 +33,18 @@ func NewMateArray(n int) []int {
 	return mate
 }
 
+// CloneMate returns an independent copy of a mate array. Concurrency-safe
+// caches hand out clones so a caller mutating its copy cannot corrupt the
+// cached matching.
+func CloneMate(mate []int) []int {
+	if mate == nil {
+		return nil
+	}
+	out := make([]int, len(mate))
+	copy(out, mate)
+	return out
+}
+
 // Size returns the number of edges in the matching encoded by mate.
 func Size(mate []int) int {
 	c := 0
