@@ -4,7 +4,11 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test lint vet race bench fuzz-smoke check
+.PHONY: all build test lint vet race bench fuzz-smoke linkcheck check
+
+# DOCS is the documentation set linkcheck keeps honest (relative links and
+# heading anchors; see cmd/linkcheck).
+DOCS = README.md DESIGN.md EXPERIMENTS.md OBSERVABILITY.md
 
 all: check
 
@@ -38,4 +42,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeProfile -fuzztime=$(FUZZTIME) ./internal/game
 
-check: build lint race
+linkcheck:
+	$(GO) run ./cmd/linkcheck $(DOCS)
+
+check: build lint race linkcheck

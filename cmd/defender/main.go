@@ -18,6 +18,11 @@
 // caterpillar:S,L petersen gnp:N,P[,SEED] bip:A,B,P[,SEED] tree:N[,SEED]
 // conn:N,P[,SEED] ba:N,ATTACH[,SEED] ws:N,K,P[,SEED] g6:STRING,
 // @file (edge list), or "-" for stdin.
+//
+// Every subcommand also accepts the observability flags of
+// OBSERVABILITY.md: -metrics dumps the metrics snapshot to stderr on
+// exit, -debug-addr serves /metrics, expvar and net/http/pprof while the
+// command runs, and -trace-out streams span events as JSONL.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"github.com/defender-game/defender/internal/game"
 	"github.com/defender-game/defender/internal/graph"
 	"github.com/defender-game/defender/internal/gspec"
+	"github.com/defender-game/defender/internal/obs"
 	"github.com/defender-game/defender/internal/sim"
 )
 
@@ -50,17 +56,45 @@ func run(args []string) error {
 	sub, spec := args[0], args[1]
 	fs := flag.NewFlagSet(sub, flag.ContinueOnError)
 	var (
-		nu      = fs.Int("nu", 4, "number of attackers ν")
-		k       = fs.Int("k", 1, "defender power: edges per tuple")
-		rounds  = fs.Int("rounds", 20000, "Monte-Carlo or learning rounds (sim, learn)")
-		seed    = fs.Int64("seed", 1, "random seed (sim)")
-		verbose = fs.Bool("v", false, "print full distributions (solve)")
-		jsonOut = fs.Bool("json", false, "emit the equilibrium profile as JSON (solve)")
-		profile = fs.String("profile", "", "JSON profile file to verify (check)")
-		anyFam  = fs.Bool("any", false, "solve: fall back to any equilibrium family (perfect-matching, regular, LP minimax)")
+		nu        = fs.Int("nu", 4, "number of attackers ν")
+		k         = fs.Int("k", 1, "defender power: edges per tuple")
+		rounds    = fs.Int("rounds", 20000, "Monte-Carlo or learning rounds (sim, learn)")
+		seed      = fs.Int64("seed", 1, "random seed (sim)")
+		verbose   = fs.Bool("v", false, "print full distributions (solve)")
+		jsonOut   = fs.Bool("json", false, "emit the equilibrium profile as JSON (solve)")
+		profile   = fs.String("profile", "", "JSON profile file to verify (check)")
+		anyFam    = fs.Bool("any", false, "solve: fall back to any equilibrium family (perfect-matching, regular, LP minimax)")
+		metrics   = fs.Bool("metrics", false, "dump the metrics snapshot as JSON to stderr on exit")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, expvar and pprof on this address while running (e.g. localhost:6060)")
+		traceOut  = fs.String("trace-out", "", "stream span events as JSONL to this file")
 	)
 	if err := fs.Parse(args[2:]); err != nil {
 		return err
+	}
+	reg := obs.Default()
+	reg.SetEnabled(true)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		reg.SetTraceWriter(f)
+		defer func() {
+			reg.SetTraceWriter(nil)
+			f.Close()
+		}()
+	}
+	if *debugAddr != "" {
+		addr, err := obs.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			return fmt.Errorf("debug-addr: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s (/metrics, /debug/pprof/, /debug/vars)\n", addr)
+	}
+	if *metrics {
+		defer func() {
+			_ = reg.Snapshot().WriteJSON(os.Stderr)
+		}()
 	}
 	g, err := gspec.Parse(spec)
 	if err != nil {

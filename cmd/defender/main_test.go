@@ -100,6 +100,25 @@ func TestRunValueAndLearn(t *testing.T) {
 	}
 }
 
+func TestRunObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	if err := run([]string{"solve", "cycle:8", "-k", "2", "-metrics", "-trace-out", trace}); err != nil {
+		t.Fatalf("solve with observability flags: %v", err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	if !strings.Contains(string(data), `"core.solve_tuple"`) {
+		t.Errorf("trace lacks the core.solve_tuple span:\n%s", data)
+	}
+	// An unwritable trace path fails before any work happens.
+	if err := run([]string{"solve", "cycle:8", "-trace-out", "/nonexistent-dir/t.jsonl"}); err == nil {
+		t.Error("unwritable trace-out path must fail")
+	}
+}
+
 func TestRunCheckRoundTrip(t *testing.T) {
 	// Solve to JSON via the library path used by -json, then check it.
 	dir := t.TempDir()

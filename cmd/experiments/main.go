@@ -6,11 +6,18 @@
 // Tables execute their independent (graph, k) cells on a bounded worker
 // pool (-workers, default GOMAXPROCS); output is byte-identical for any
 // worker count. -bench-out writes a JSON perf baseline (per-table wall
-// time, cell throughput, p50/p95 cell latency) for trend tracking.
+// time, cell throughput, p50/p95 cell latency, and the full metrics
+// snapshot of the instrumented solver stack) for trend tracking.
+//
+// Observability (see OBSERVABILITY.md): metrics are always recorded;
+// -debug-addr serves live /metrics, expvar and net/http/pprof while the
+// suite runs; -trace-out streams span events as JSONL for offline
+// analysis.
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-only E2,E5] [-workers N] [-bench-out FILE]
+//	experiments [-quick] [-seed N] [-only E2,E5] [-workers N]
+//	            [-bench-out FILE] [-debug-addr HOST:PORT] [-trace-out FILE]
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"time"
 
 	"github.com/defender-game/defender/internal/experiments"
+	"github.com/defender-game/defender/internal/obs"
 )
 
 func main() {
@@ -43,31 +51,72 @@ type benchTable struct {
 	CellP95MS   float64 `json:"cell_p95_ms"`
 }
 
-// benchReport is the schema of BENCH_experiments.json.
+// benchReport is the schema of BENCH_experiments.json. Parallelism is
+// recorded twice on purpose: workers_requested is the raw -workers flag
+// (0 = defaulted) while workers_effective is the pool size the tables
+// actually ran with — previously only the raw flag was written, so a
+// defaulted run was indistinguishable from a single-worker one.
 type benchReport struct {
-	Suite       string       `json:"suite"`
-	Quick       bool         `json:"quick"`
-	Seed        int64        `json:"seed"`
-	Workers     int          `json:"workers"`
-	GoMaxProcs  int          `json:"gomaxprocs"`
-	TotalWallMS float64      `json:"total_wall_ms"`
-	Tables      []benchTable `json:"tables"`
+	Suite            string       `json:"suite"`
+	Quick            bool         `json:"quick"`
+	Seed             int64        `json:"seed"`
+	WorkersRequested int          `json:"workers_requested"`
+	WorkersEffective int          `json:"workers_effective"`
+	GoMaxProcs       int          `json:"gomaxprocs"`
+	TotalWallMS      float64      `json:"total_wall_ms"`
+	Tables           []benchTable `json:"tables"`
+	// Metrics is the full observability snapshot taken after the suite:
+	// cache hit/miss/store counts, solver iteration counters, and latency
+	// histograms (see OBSERVABILITY.md for the catalogue).
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// effectiveWorkers resolves the -workers flag the same way the runner
+// does: non-positive means one worker per logical CPU.
+func effectiveWorkers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		quick    = fs.Bool("quick", false, "run reduced sweeps")
-		seed     = fs.Int64("seed", 1, "workload seed")
-		only     = fs.String("only", "", "comma-separated experiment ids (e.g. E2,E5); empty = all")
-		figures  = fs.Bool("figures", false, "also render the F1/F2 plain-text figures")
-		workers  = fs.Int("workers", 0, "cell worker pool size per table; 0 = GOMAXPROCS")
-		benchOut = fs.String("bench-out", "", "write a JSON perf baseline (e.g. BENCH_experiments.json)")
+		quick     = fs.Bool("quick", false, "run reduced sweeps")
+		seed      = fs.Int64("seed", 1, "workload seed")
+		only      = fs.String("only", "", "comma-separated experiment ids (e.g. E2,E5); empty = all")
+		figures   = fs.Bool("figures", false, "also render the F1/F2 plain-text figures")
+		workers   = fs.Int("workers", 0, "cell worker pool size per table; 0 = GOMAXPROCS")
+		benchOut  = fs.String("bench-out", "", "write a JSON perf baseline (e.g. BENCH_experiments.json)")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, expvar and pprof on this address while running (e.g. localhost:6060)")
+		traceOut  = fs.String("trace-out", "", "stream span events as JSONL to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	reg := obs.Default()
+	reg.SetEnabled(true)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		reg.SetTraceWriter(f)
+		defer func() {
+			reg.SetTraceWriter(nil)
+			f.Close()
+		}()
+	}
+	if *debugAddr != "" {
+		addr, err := obs.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			return fmt.Errorf("debug-addr: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s (/metrics, /debug/pprof/, /debug/vars)\n", addr)
+	}
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+	reg.Gauge("experiments.workers.effective").Set(float64(effectiveWorkers(*workers)))
 
 	selected := make(map[string]bool)
 	if *only != "" {
@@ -77,11 +126,12 @@ func run(args []string) error {
 	}
 
 	report := benchReport{
-		Suite:      "experiments",
-		Quick:      *quick,
-		Seed:       *seed,
-		Workers:    *workers,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Suite:            "experiments",
+		Quick:            *quick,
+		Seed:             *seed,
+		WorkersRequested: *workers,
+		WorkersEffective: effectiveWorkers(*workers),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
 	}
 	failures := 0
 	ran := 0
@@ -91,9 +141,12 @@ func run(args []string) error {
 			continue
 		}
 		ran++
+		sp := reg.StartSpan("experiments.table")
+		sp.Annotate("id", e.ID)
 		tableStart := time.Now()
 		table, err := e.Run(cfg)
 		tableWall := time.Since(tableStart)
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
@@ -130,6 +183,7 @@ func run(args []string) error {
 		return fmt.Errorf("no experiments matched -only=%q", *only)
 	}
 	if *benchOut != "" {
+		report.Metrics = reg.Snapshot()
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			return fmt.Errorf("bench-out: %w", err)

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Nested brackets in
+// the text and parentheses in the target are out of scope — the repo's
+// documentation uses neither.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// headingRe matches ATX headings of any level.
+var headingRe = regexp.MustCompile(`^(#{1,6})\s+(.*?)\s*#*\s*$`)
+
+// codeSpanRe strips inline code spans so links inside backticks are not
+// checked (they are usually syntax examples, not navigation).
+var codeSpanRe = regexp.MustCompile("`[^`]*`")
+
+// anchorDropRe removes the characters GitHub drops when slugging headings.
+var anchorDropRe = regexp.MustCompile(`[^\p{L}\p{N}\s_-]`)
+
+// checkFiles validates every file and returns human-readable descriptions
+// of the broken links. The error return is reserved for I/O failures on
+// the argument files themselves.
+func checkFiles(paths []string) ([]string, error) {
+	var broken []string
+	// Anchor sets are memoized per target document: the argument files
+	// cross-reference each other, and re-slugging per link is wasteful.
+	anchors := make(map[string]map[string]bool)
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		anchors[filepath.Clean(path)] = headingAnchors(string(data))
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range extractLinks(string(data)) {
+			if msg := checkLink(path, l, anchors); msg != "" {
+				broken = append(broken, fmt.Sprintf("%s:%d: %s", path, l.line, msg))
+			}
+		}
+	}
+	return broken, nil
+}
+
+// link is one extracted markdown link target with its source line.
+type link struct {
+	target string
+	line   int
+}
+
+// extractLinks returns the inline link targets of a markdown document,
+// skipping fenced code blocks and inline code spans.
+func extractLinks(doc string) []link {
+	var out []link
+	inFence := false
+	for i, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		line = codeSpanRe.ReplaceAllString(line, "")
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			out = append(out, link{target: m[1], line: i + 1})
+		}
+	}
+	return out
+}
+
+// checkLink validates one link target relative to the file containing it.
+// It returns a description of the breakage, or "" when the link is fine.
+func checkLink(fromFile string, l link, anchors map[string]map[string]bool) string {
+	t := l.target
+	for _, scheme := range []string{"http://", "https://", "mailto:"} {
+		if strings.HasPrefix(t, scheme) {
+			return ""
+		}
+	}
+	pathPart, frag, hasFrag := strings.Cut(t, "#")
+
+	target := fromFile // pure fragment: anchor in the same document
+	if pathPart != "" {
+		target = filepath.Join(filepath.Dir(fromFile), pathPart)
+		info, err := os.Stat(target)
+		if err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", t, target)
+		}
+		if hasFrag && info.IsDir() {
+			return fmt.Sprintf("broken link %q: fragment on a directory", t)
+		}
+	}
+	if !hasFrag || frag == "" {
+		return ""
+	}
+
+	target = filepath.Clean(target)
+	set, ok := anchors[target]
+	if !ok {
+		data, err := os.ReadFile(target)
+		if err != nil {
+			return fmt.Sprintf("broken link %q: cannot read %s for anchors", t, target)
+		}
+		set = headingAnchors(string(data))
+		anchors[target] = set
+	}
+	if !set[frag] {
+		return fmt.Sprintf("broken link %q: no heading anchors to #%s in %s", t, frag, target)
+	}
+	return ""
+}
+
+// headingAnchors returns the set of GitHub-style anchors of a markdown
+// document: headings are lowercased, punctuation dropped, spaces become
+// hyphens, and duplicates get -1, -2, ... suffixes.
+func headingAnchors(doc string) map[string]bool {
+	out := make(map[string]bool)
+	seen := make(map[string]int)
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[2])
+		if n := seen[slug]; n > 0 {
+			out[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			out[slug] = true
+		}
+		seen[slug]++
+	}
+	return out
+}
+
+// slugify converts one heading's text to its GitHub anchor.
+func slugify(heading string) string {
+	// Markdown formatting inside the heading does not survive into the
+	// anchor: strip code backticks and star emphasis. Underscores are kept
+	// verbatim — they appear literally in metric-name headings, and GitHub
+	// keeps them in slugs.
+	s := strings.NewReplacer("`", "", "*", "").Replace(heading)
+	// Inline links in headings anchor on their text.
+	s = linkRe.ReplaceAllStringFunc(s, func(m string) string {
+		return m[1:strings.Index(m, "]")]
+	})
+	s = strings.ToLower(s)
+	s = anchorDropRe.ReplaceAllString(s, "")
+	s = strings.ReplaceAll(strings.TrimSpace(s), " ", "-")
+	return s
+}

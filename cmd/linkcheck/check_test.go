@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write creates a file tree rooted in a temp dir and returns its root.
+func write(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, body := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestValidLinksPass(t *testing.T) {
+	dir := write(t, map[string]string{
+		"A.md": "# Top\n\nSee [B](B.md), [a heading](B.md#deep-dive), " +
+			"[myself](#top), [the web](https://example.com), " +
+			"[mail](mailto:x@y.z) and [sub](docs/C.md).\n",
+		"B.md":       "# Title\n\n## Deep Dive\n\ntext\n",
+		"docs/C.md":  "# C\n",
+		"ignored.md": "[broken](nope.md) — not passed to the checker\n",
+	})
+	broken, err := checkFiles([]string{
+		filepath.Join(dir, "A.md"),
+		filepath.Join(dir, "B.md"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 0 {
+		t.Errorf("valid links reported broken: %v", broken)
+	}
+}
+
+func TestBrokenPathAndAnchor(t *testing.T) {
+	dir := write(t, map[string]string{
+		"A.md": "[gone](missing.md)\n\n[bad anchor](B.md#no-such-heading)\n\n[bad self](#nope)\n",
+		"B.md": "# Only Heading\n",
+	})
+	broken, err := checkFiles([]string{filepath.Join(dir, "A.md")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 3 {
+		t.Fatalf("want 3 broken links, got %d: %v", len(broken), broken)
+	}
+	for i, want := range []string{"missing.md", "no-such-heading", "#nope"} {
+		if !strings.Contains(broken[i], want) {
+			t.Errorf("broken[%d] = %q, want mention of %q", i, broken[i], want)
+		}
+	}
+}
+
+func TestCodeIsSkipped(t *testing.T) {
+	dir := write(t, map[string]string{
+		"A.md": "```\n[not a link](missing.md)\n```\n\n" +
+			"Inline `[also ignored](gone.md)` span.\n\n" +
+			"~~~\n[fenced too](nope.md)\n~~~\n",
+	})
+	broken, err := checkFiles([]string{filepath.Join(dir, "A.md")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 0 {
+		t.Errorf("links inside code must be skipped: %v", broken)
+	}
+}
+
+func TestAnchorSlugging(t *testing.T) {
+	cases := []struct{ heading, anchor string }{
+		{"Reading the metrics report", "reading-the-metrics-report"},
+		{"The `-debug-addr` flag", "the--debug-addr-flag"},
+		{"Counters: hits & misses", "counters-hits--misses"},
+		{"experiments.cell_seconds", "experimentscell_seconds"},
+		{"What *is* a span?", "what-is-a-span"},
+	}
+	for _, tc := range cases {
+		if got := slugify(tc.heading); got != tc.anchor {
+			t.Errorf("slugify(%q) = %q, want %q", tc.heading, got, tc.anchor)
+		}
+	}
+}
+
+func TestDuplicateHeadingsGetSuffixes(t *testing.T) {
+	anchors := headingAnchors("# Same\n\n## Same\n\n### Same\n")
+	for _, want := range []string{"same", "same-1", "same-2"} {
+		if !anchors[want] {
+			t.Errorf("missing anchor %q in %v", want, anchors)
+		}
+	}
+}
+
+func TestHeadingsInsideFencesIgnored(t *testing.T) {
+	anchors := headingAnchors("```\n# not a heading\n```\n\n# Real\n")
+	if anchors["not-a-heading"] {
+		t.Error("fenced pseudo-heading produced an anchor")
+	}
+	if !anchors["real"] {
+		t.Error("real heading missing")
+	}
+}
+
+// TestRepoDocsAreClean runs the checker over the repository's actual
+// documentation set — the same invocation CI uses.
+func TestRepoDocsAreClean(t *testing.T) {
+	docs := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "OBSERVABILITY.md"}
+	var paths []string
+	for _, d := range docs {
+		p := filepath.Join("..", "..", d)
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("documentation file %s missing: %v", d, err)
+		}
+		paths = append(paths, p)
+	}
+	broken, err := checkFiles(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 0 {
+		t.Errorf("repository docs have broken links:\n%s", strings.Join(broken, "\n"))
+	}
+}

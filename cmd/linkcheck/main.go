@@ -1,0 +1,42 @@
+// Command linkcheck validates the relative links and intra-document
+// anchors of markdown files, so the documentation set (README.md,
+// DESIGN.md, EXPERIMENTS.md, OBSERVABILITY.md, ...) cannot silently rot
+// as files and headings move. It is stdlib-only and runs in CI.
+//
+// Checked: inline links [text](target) whose target is a relative path
+// (must exist on disk, relative to the file) and/or a #fragment (must
+// match a GitHub-style heading anchor of the target document). Skipped:
+// absolute URLs (http:, https:, mailto:), and anything inside fenced code
+// blocks or inline code spans.
+//
+// Usage:
+//
+//	linkcheck FILE.md [FILE.md ...]
+//
+// Exits non-zero listing every broken link.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck FILE.md [FILE.md ...]")
+		os.Exit(2)
+	}
+	broken, err := checkFiles(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(1)
+	}
+	for _, b := range broken {
+		fmt.Fprintln(os.Stderr, b)
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken links\n", len(broken))
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d files ok\n", len(os.Args)-1)
+}

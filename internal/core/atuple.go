@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"github.com/defender-game/defender/internal/cover"
 	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/obs"
 )
 
 // ErrKTooLarge is returned when k exceeds the size of the constructed edge
@@ -40,6 +42,9 @@ func AlgorithmATuple(g *graph.Graph, attackers, k int, p cover.Partition) (Tuple
 // bipartite graphs this is the paper's Theorem 5.1 pipeline with total cost
 // max{O(k·n), O(m√n)}.
 func SolveTupleModel(g *graph.Graph, attackers, k int) (TupleEquilibrium, error) {
+	sp := obs.Default().StartSpan("core.solve_tuple")
+	sp.Annotate("k", strconv.Itoa(k))
+	defer sp.End()
 	p, err := cover.FindNEPartition(g)
 	if err != nil {
 		if errors.Is(err, cover.ErrNoPartition) {

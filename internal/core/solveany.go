@@ -9,6 +9,7 @@ import (
 	"github.com/defender-game/defender/internal/game"
 	"github.com/defender-game/defender/internal/graph"
 	"github.com/defender-game/defender/internal/lp"
+	"github.com/defender-game/defender/internal/obs"
 )
 
 // SolveAny computes SOME mixed Nash equilibrium of Π_k(G) for any graph,
@@ -32,7 +33,14 @@ import (
 // The returned family is one of "k-matching", "perfect-matching",
 // "regular", "lp-minimax". Every returned profile passes the exact
 // verifier (asserted by the tests).
-func SolveAny(g *graph.Graph, attackers, k int) (TupleEquilibrium, string, error) {
+func SolveAny(g *graph.Graph, attackers, k int) (ne TupleEquilibrium, family string, err error) {
+	sp := obs.Default().StartSpan("core.solve_any")
+	defer func() {
+		// The chosen family is the interesting dimension when reading a
+		// trace: it explains why one solve took µs and the next took ms.
+		sp.Annotate("family", family)
+		sp.End()
+	}()
 	if ne, err := SolveTupleModel(g, attackers, k); err == nil {
 		return ne, "k-matching", nil
 	} else if !errors.Is(err, ErrNoMatchingNE) && !errors.Is(err, ErrKTooLarge) &&
@@ -59,7 +67,7 @@ func SolveAny(g *graph.Graph, attackers, k int) (TupleEquilibrium, string, error
 			}, "regular", nil
 		}
 	}
-	ne, err := lpMinimaxNE(g, attackers, k)
+	ne, err = lpMinimaxNE(g, attackers, k)
 	if err != nil {
 		return TupleEquilibrium{}, "", err
 	}

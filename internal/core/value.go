@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"strconv"
 
 	"github.com/defender-game/defender/internal/game"
 	"github.com/defender-game/defender/internal/graph"
 	"github.com/defender-game/defender/internal/lp"
+	"github.com/defender-game/defender/internal/obs"
 )
 
 // For a single attacker (ν = 1) the Tuple model is a constant-sum game:
@@ -33,6 +35,9 @@ const valueTupleLimit = 20_000
 // structured equilibrium constructions. Along with the value it returns
 // the defender's optimal mixed strategy over tuples.
 func GameValue(g *graph.Graph, k int) (*big.Rat, []game.Tuple, []*big.Rat, error) {
+	sp := obs.Default().StartSpan("core.game_value")
+	sp.Annotate("k", strconv.Itoa(k))
+	defer sp.End()
 	if g.NumVertices() == 0 {
 		return nil, nil, nil, fmt.Errorf("core: game value: empty graph")
 	}

@@ -12,7 +12,13 @@ import (
 
 	"github.com/defender-game/defender/internal/graph"
 	"github.com/defender-game/defender/internal/matching"
+	"github.com/defender-game/defender/internal/obs"
 )
+
+// Edge-cover build counter (catalogued in OBSERVABILITY.md). Compared
+// against experiments.cache.cover.misses it shows how many cover builds
+// the structure cache is absorbing.
+var obsEdgeCoversBuilt = obs.Default().Counter("cover.edge_covers_built")
 
 // Sentinel errors for cover computations.
 var (
@@ -75,6 +81,7 @@ func MinimumEdgeCoverFromMatching(g *graph.Graph, mate []int) ([]graph.Edge, err
 	if len(mate) != g.NumVertices() {
 		return nil, fmt.Errorf("cover: mate array has length %d, want %d", len(mate), g.NumVertices())
 	}
+	obsEdgeCoversBuilt.Inc()
 	cover := matching.Edges(mate)
 	for v := 0; v < g.NumVertices(); v++ {
 		if mate[v] == matching.Unmatched {

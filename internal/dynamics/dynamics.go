@@ -15,6 +15,25 @@ import (
 
 	"github.com/defender-game/defender/internal/game"
 	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/obs"
+)
+
+// Learning-dynamics metrics (catalogued in OBSERVABILITY.md): completed
+// runs per algorithm and the distribution of horizon lengths — the
+// "rounds until the caller accepted convergence" signal. The final bound
+// gap per run lands in the matching ".gap" histogram (unitless
+// probability width), so widening convergence shows up without reading
+// any table.
+var (
+	obsFPRuns   = obs.Default().Counter("dynamics.fictitious_play.runs")
+	obsFPRounds = obs.Default().Histogram("dynamics.fictitious_play.rounds")
+	obsFPGap    = obs.Default().Histogram("dynamics.fictitious_play.gap")
+	obsMWRuns   = obs.Default().Counter("dynamics.multiplicative_weights.runs")
+	obsMWRounds = obs.Default().Histogram("dynamics.multiplicative_weights.rounds")
+	obsMWGap    = obs.Default().Histogram("dynamics.multiplicative_weights.gap")
+	obsRMRuns   = obs.Default().Counter("dynamics.regret_matching.runs")
+	obsRMRounds = obs.Default().Histogram("dynamics.regret_matching.rounds")
+	obsRMGap    = obs.Default().Histogram("dynamics.regret_matching.gap")
 )
 
 // ErrBadRounds rejects non-positive round counts.
@@ -109,13 +128,18 @@ func FictitiousPlay(g *graph.Graph, rounds int) (FPResult, error) {
 			maxLoad = load
 		}
 	}
-	return FPResult{
+	res := FPResult{
 		Rounds:         rounds,
 		LowerBound:     big.NewRat(int64(minHit), int64(rounds)),
 		UpperBound:     big.NewRat(int64(maxLoad), int64(rounds)),
 		AttackerCounts: attackerCounts,
 		DefenderCounts: defenderCounts,
-	}, nil
+	}
+	obsFPRuns.Inc()
+	obsFPRounds.Observe(float64(rounds))
+	gap, _ := res.Gap().Float64()
+	obsFPGap.Observe(gap)
+	return res, nil
 }
 
 // MWResult reports a multiplicative-weights (Hedge) run.
@@ -214,6 +238,9 @@ func MultiplicativeWeights(g *graph.Graph, rounds int, eta float64) (MWResult, e
 		edge := g.EdgeByID(e)
 		upper = math.Max(upper, atkAvg[edge.U]+atkAvg[edge.V])
 	}
+	obsMWRuns.Inc()
+	obsMWRounds.Observe(float64(rounds))
+	obsMWGap.Observe(upper - lower)
 	return MWResult{
 		Rounds:      rounds,
 		Value:       (lower + upper) / 2,

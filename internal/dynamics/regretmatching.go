@@ -128,6 +128,9 @@ func RegretMatchingRand(g *graph.Graph, rounds int, rng *rand.Rand) (MWResult, e
 			upper = load
 		}
 	}
+	obsRMRuns.Inc()
+	obsRMRounds.Observe(float64(rounds))
+	obsRMGap.Observe(upper - lower)
 	return MWResult{
 		Rounds:      rounds,
 		Value:       (lower + upper) / 2,

@@ -10,6 +10,54 @@ import (
 	"github.com/defender-game/defender/internal/game"
 	"github.com/defender-game/defender/internal/graph"
 	"github.com/defender-game/defender/internal/matching"
+	"github.com/defender-game/defender/internal/obs"
+)
+
+// cacheMetrics is one key kind's worth of cache observability: lookup
+// outcomes as counters plus the current entry count as a gauge, named
+// "experiments.cache.<kind>.{hits,misses,stores}" and
+// "experiments.cache.<kind>.entries" (catalogued in OBSERVABILITY.md).
+// Under concurrent misses of the same key, stores may exceed distinct
+// keys: two workers can both miss and both store — last write wins, which
+// is sound because entries are pure functions of the key.
+type cacheMetrics struct {
+	hits    *obs.Counter
+	misses  *obs.Counter
+	stores  *obs.Counter
+	entries *obs.Gauge
+}
+
+func newCacheMetrics(kind string) cacheMetrics {
+	prefix := "experiments.cache." + kind + "."
+	return cacheMetrics{
+		hits:    obs.Default().Counter(prefix + "hits"),
+		misses:  obs.Default().Counter(prefix + "misses"),
+		stores:  obs.Default().Counter(prefix + "stores"),
+		entries: obs.Default().Gauge(prefix + "entries"),
+	}
+}
+
+// lookup records a lookup outcome.
+func (m cacheMetrics) lookup(hit bool) {
+	if hit {
+		m.hits.Inc()
+	} else {
+		m.misses.Inc()
+	}
+}
+
+// stored records a store and the resulting entry count.
+func (m cacheMetrics) stored(entries int) {
+	m.stores.Inc()
+	m.entries.Set(float64(entries))
+}
+
+// Per-kind metrics of the process-wide structure cache.
+var (
+	matchingCacheMetrics = newCacheMetrics("matching")
+	coverCacheMetrics    = newCacheMetrics("cover")
+	tuplesCacheMetrics   = newCacheMetrics("tuples")
+	valueCacheMetrics    = newCacheMetrics("value")
 )
 
 // structCache memoizes the pure-structure computations that many (graph, k)
@@ -62,11 +110,14 @@ func (c *structCache) MaximumMatching(g *graph.Graph) []int {
 	c.mu.Lock()
 	mate, ok := c.mates[key]
 	c.mu.Unlock()
+	matchingCacheMetrics.lookup(ok)
 	if !ok {
 		mate = matching.Maximum(g)
 		c.mu.Lock()
 		c.mates[key] = mate
+		n := len(c.mates)
 		c.mu.Unlock()
+		matchingCacheMetrics.stored(n)
 	}
 	return matching.CloneMate(mate)
 }
@@ -81,6 +132,7 @@ func (c *structCache) MinimumEdgeCover(g *graph.Graph) ([]graph.Edge, error) {
 	c.mu.Lock()
 	ec, ok := c.covers[key]
 	c.mu.Unlock()
+	coverCacheMetrics.lookup(ok)
 	if !ok {
 		mate := c.MaximumMatching(g)
 		var err error
@@ -90,7 +142,9 @@ func (c *structCache) MinimumEdgeCover(g *graph.Graph) ([]graph.Edge, error) {
 		}
 		c.mu.Lock()
 		c.covers[key] = ec
+		n := len(c.covers)
 		c.mu.Unlock()
+		coverCacheMetrics.stored(n)
 	}
 	out := make([]graph.Edge, len(ec))
 	copy(out, ec)
@@ -114,11 +168,14 @@ func (c *structCache) Tuples(g *graph.Graph, k int) []game.Tuple {
 	c.mu.Lock()
 	ts, ok := c.tuples[key]
 	c.mu.Unlock()
+	tuplesCacheMetrics.lookup(ok)
 	if !ok {
 		ts = core.EnumerateTuples(g, k)
 		c.mu.Lock()
 		c.tuples[key] = ts
+		n := len(c.tuples)
 		c.mu.Unlock()
+		tuplesCacheMetrics.stored(n)
 	}
 	out := make([]game.Tuple, len(ts))
 	copy(out, ts)
@@ -132,6 +189,7 @@ func (c *structCache) GameValue(g *graph.Graph, k int) (*big.Rat, error) {
 	c.mu.Lock()
 	v, ok := c.values[key]
 	c.mu.Unlock()
+	valueCacheMetrics.lookup(ok)
 	if !ok {
 		value, _, _, err := core.GameValue(g, k)
 		if err != nil {
@@ -142,7 +200,9 @@ func (c *structCache) GameValue(g *graph.Graph, k int) (*big.Rat, error) {
 		v = new(big.Rat).Set(value)
 		c.mu.Lock()
 		c.values[key] = v
+		n := len(c.values)
 		c.mu.Unlock()
+		valueCacheMetrics.stored(n)
 	}
 	return new(big.Rat).Set(v), nil
 }

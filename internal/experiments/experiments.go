@@ -41,12 +41,20 @@ func DefaultConfig() Config { return Config{Seed: 1} }
 
 // Table is one experiment's rendered result.
 type Table struct {
-	ID      string
-	Title   string
-	Claim   string // the paper statement being regenerated
+	// ID is the experiment identifier ("E1".."E16"), matching the
+	// section headers of EXPERIMENTS.md.
+	ID string
+	// Title is the human-readable one-line experiment name.
+	Title string
+	// Claim is the paper statement being regenerated.
+	Claim string
+	// Headers is the column header row.
 	Headers []string
-	Rows    [][]string
-	Notes   []string
+	// Rows holds the stringified result cells, one slice per row, in
+	// declaration order regardless of worker scheduling.
+	Rows [][]string
+	// Notes are free-form footnote lines printed after the rows.
+	Notes []string
 	// Volatile lists column indices whose cells are environment-dependent
 	// (wall-clock timings). Render prints them verbatim; CanonicalRender
 	// masks them so golden files and determinism checks stay reproducible.
@@ -149,9 +157,12 @@ func (t Table) Failures() [][]string {
 // zero-table contract: on a non-nil error the returned Table is the zero
 // value, never a partially filled table.
 type Experiment struct {
-	ID   string
+	// ID is the table identifier ("E1".."E16") used by -only selection.
+	ID string
+	// Name is the short kebab-case slug of the experiment.
 	Name string
-	Run  func(Config) (Table, error)
+	// Run builds the table for one configuration.
+	Run func(Config) (Table, error)
 }
 
 // All lists every experiment in presentation order.

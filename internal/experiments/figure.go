@@ -24,15 +24,21 @@ func timeLift(ne core.EdgeEquilibrium, k int) (time.Duration, core.TupleEquilibr
 
 // Figure is a rendered plain-text plot plus the self-check flag.
 type Figure struct {
-	ID    string
+	// ID is the figure identifier ("F1", "F2").
+	ID string
+	// Title is the one-line figure caption.
 	Title string
-	Body  string
-	OK    bool
+	// Body is the rendered ASCII plot.
+	Body string
+	// OK reports whether the figure's monotonicity self-check passed.
+	OK bool
 }
 
 // Series is one labelled polyline of (x, y) points.
 type Series struct {
-	Label  string
+	// Label names the series in the plot legend.
+	Label string
+	// Points are the (x, y) pairs in drawing order.
 	Points [][2]float64
 }
 

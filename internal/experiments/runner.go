@@ -6,6 +6,19 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/defender-game/defender/internal/obs"
+)
+
+// Runner metrics (catalogued in OBSERVABILITY.md). Cell outcomes are
+// counted process-wide; per-cell latency feeds both the suite-wide
+// histogram and — via finish, which knows the table ID — one histogram per
+// table, so a slow table is attributable without re-running it.
+var (
+	obsCellsStarted = obs.Default().Counter("experiments.cells.started")
+	obsCellsOK      = obs.Default().Counter("experiments.cells.ok")
+	obsCellsFailed  = obs.Default().Counter("experiments.cells.failed")
+	obsCellSeconds  = obs.Default().Histogram("experiments.cell_seconds")
 )
 
 // A Cell is one independent unit of table work — typically one (graph, k)
@@ -72,6 +85,7 @@ func (r *Runner) Run(cells []Cell) ([][]string, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				obsCellsStarted.Inc()
 				cellStart := time.Now()
 				if i == 0 && r.failFirst {
 					results[i] = result{err: errCellFault}
@@ -80,6 +94,12 @@ func (r *Runner) Run(cells []Cell) ([][]string, error) {
 					results[i] = result{rows: rows, err: err}
 				}
 				durations[i] = time.Since(cellStart)
+				obsCellSeconds.Observe(durations[i].Seconds())
+				if results[i].err != nil {
+					obsCellsFailed.Inc()
+				} else {
+					obsCellsOK.Inc()
+				}
 			}
 		}()
 	}
@@ -113,8 +133,9 @@ type RunStats struct {
 	Cells int
 	// Wall is the wall-clock time spent inside Run (all calls summed).
 	Wall time.Duration
-	// CellP50 and CellP95 are percentile single-cell latencies.
+	// CellP50 is the median single-cell latency.
 	CellP50 time.Duration
+	// CellP95 is the 95th-percentile single-cell latency.
 	CellP95 time.Duration
 }
 
@@ -155,8 +176,20 @@ func percentile(sorted []time.Duration, p int) time.Duration {
 	return sorted[idx-1]
 }
 
-// finish stamps the runner's stats onto a completed table.
+// finish stamps the runner's stats onto a completed table and replays the
+// per-cell durations into the table's own latency histogram
+// ("experiments.table.<ID>.cell_seconds") — the runner itself never learns
+// the table ID, but every builder funnels through finish exactly once.
 func (r *Runner) finish(t Table) Table {
 	t.Stats = r.Stats()
+	if t.ID != "" && obs.Default().Enabled() {
+		h := obs.Default().Histogram("experiments.table." + t.ID + ".cell_seconds")
+		r.mu.Lock()
+		durations := append([]time.Duration(nil), r.durations...)
+		r.mu.Unlock()
+		for _, d := range durations {
+			h.Observe(d.Seconds())
+		}
+	}
 	return t
 }

@@ -30,7 +30,9 @@ var (
 // Edge is an undirected edge. Edges constructed through this package are
 // normalized so that U < V; use NewEdge to normalize arbitrary endpoints.
 type Edge struct {
+	// U is the smaller endpoint.
 	U int
+	// V is the larger endpoint.
 	V int
 }
 

@@ -17,6 +17,19 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+
+	"github.com/defender-game/defender/internal/obs"
+)
+
+// Simplex iteration metrics (catalogued in OBSERVABILITY.md): total solves
+// and Gauss–Jordan pivots across both phases, plus the per-solve pivot
+// distribution. Pivot counts are the honest cost unit of the exact solver
+// (each pivot is a full tableau sweep of big.Rat arithmetic), so a p99
+// blowup here — not wall time — is the first sign of a degenerate program.
+var (
+	obsSimplexSolves         = obs.Default().Counter("lp.simplex.solves")
+	obsSimplexPivots         = obs.Default().Counter("lp.simplex.pivots")
+	obsSimplexPivotsPerSolve = obs.Default().Histogram("lp.simplex.pivots_per_solve")
 )
 
 // Status reports the outcome of an LP solve.
@@ -83,6 +96,8 @@ func Maximize(c []*big.Rat, a [][]*big.Rat, b []*big.Rat) (Solution, error) {
 	if err != nil {
 		return Solution{}, err
 	}
+	obsSimplexSolves.Inc()
+	defer func() { obsSimplexPivotsPerSolve.Observe(float64(t.pivots)) }()
 	if t.needsPhaseOne() && t.phaseOne() == Infeasible {
 		return Solution{Status: Infeasible}, nil
 	}
@@ -125,6 +140,9 @@ type tableau struct {
 	cells [][]*big.Rat // (m+1) x (n+m+2)
 	basis []int
 	objC  []*big.Rat // original objective, used to rebuild after phase one
+	// pivots counts Gauss–Jordan pivots across both phases, feeding the
+	// lp.simplex.* metrics.
+	pivots int
 }
 
 func (t *tableau) width() int { return t.n + t.m + 2 }
@@ -306,6 +324,8 @@ func (t *tableau) optimize() Status {
 
 // pivot performs a Gauss–Jordan pivot on (pr, pc) and updates the basis.
 func (t *tableau) pivot(pr, pc int) {
+	t.pivots++
+	obsSimplexPivots.Inc()
 	prow := t.cells[pr]
 	inv := new(big.Rat).Inv(prow[pc])
 	for j := range prow {

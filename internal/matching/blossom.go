@@ -1,6 +1,20 @@
 package matching
 
-import "github.com/defender-game/defender/internal/graph"
+import (
+	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/obs"
+)
+
+// Blossom iteration counters (catalogued in OBSERVABILITY.md): one search
+// per alternating-tree growth from a free vertex, one augmentation per
+// search that finds an augmenting path, one contraction per odd cycle
+// collapsed. The searches:augmentations ratio exposes how much work the
+// greedy initialization already did.
+var (
+	obsBlossomSearches      = obs.Default().Counter("matching.blossom.searches")
+	obsBlossomAugmentations = obs.Default().Counter("matching.blossom.augmentations")
+	obsBlossomContractions  = obs.Default().Counter("matching.blossom.contractions")
+)
 
 // Maximum computes a maximum matching of an arbitrary (not necessarily
 // bipartite) graph using Edmonds' blossom algorithm, in O(n^3) time.
@@ -16,7 +30,9 @@ func Maximum(g *graph.Graph) []int {
 	b.mate = Greedy(g)
 	for v := 0; v < b.n; v++ {
 		if b.mate[v] == Unmatched {
+			obsBlossomSearches.Inc()
 			if end := b.findAugmentingPath(v); end != Unmatched {
+				obsBlossomAugmentations.Inc()
 				b.augment(end)
 			}
 		}
@@ -91,6 +107,7 @@ func (b *blossomState) findAugmentingPath(root int) int {
 // every vertex on the two tree paths down to the lowest common ancestor is
 // re-based onto that ancestor and re-enqueued as an even vertex.
 func (b *blossomState) contractBlossom(v, to int) {
+	obsBlossomContractions.Inc()
 	curBase := b.lowestCommonAncestor(v, to)
 	inBlossom := make([]bool, b.n)
 	b.markPath(v, curBase, to, inBlossom)

@@ -4,7 +4,14 @@ import (
 	"fmt"
 
 	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/obs"
 )
+
+// Hopcroft–Karp phase counter (catalogued in OBSERVABILITY.md): one phase
+// per BFS layering that found at least one augmenting path; the algorithm
+// guarantees O(sqrt n) phases, which this counter lets callers verify
+// empirically (experiment E8).
+var obsHKPhases = obs.Default().Counter("matching.hopcroftkarp.phases")
 
 // HopcroftKarp computes a maximum matching of a bipartite graph in
 // O(m sqrt n) time. The bipartition is supplied as side[v] in {0, 1}; use
@@ -86,6 +93,7 @@ func HopcroftKarp(g *graph.Graph, side []int) ([]int, error) {
 	}
 
 	for bfs() {
+		obsHKPhases.Inc()
 		for _, v := range left {
 			if mate[v] == Unmatched {
 				dfs(v)

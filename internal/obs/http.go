@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// NewDebugMux builds the handler behind the -debug-addr flag of
+// cmd/experiments and cmd/defender:
+//
+//	/metrics            the registry snapshot as indented JSON
+//	/debug/vars         expvar (includes the registry under "defender.metrics")
+//	/debug/pprof/...    the standard net/http/pprof profiles
+//
+// The pprof handlers are wired explicitly rather than via the package's
+// import side effect, so nothing is registered on http.DefaultServeMux.
+func NewDebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.Snapshot().WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// publishOnce guards the process-global expvar name, which panics on
+// duplicate registration.
+var publishOnce sync.Once
+
+// PublishExpvar exposes r's live snapshot under the expvar name
+// "defender.metrics", so /debug/vars carries the same numbers as /metrics.
+// Only the first registry published wins; later calls are no-ops (expvar
+// names are process-global and permanent).
+func PublishExpvar(r *Registry) {
+	publishOnce.Do(func() {
+		expvar.Publish("defender.metrics", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// StartDebugServer binds addr (e.g. "localhost:6060"; a ":0" port picks a
+// free one), publishes r to expvar, and serves NewDebugMux(r) on a
+// background goroutine for the life of the process. It returns the bound
+// address, so callers can log the resolved port.
+func StartDebugServer(addr string, r *Registry) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	PublishExpvar(r)
+	srv := &http.Server{Handler: NewDebugMux(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), nil
+}

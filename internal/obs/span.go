@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Span is one timed region of work, produced by Registry.StartSpan and
+// closed by End. Ending a span does two things: it observes the duration
+// into the histogram "<name>.seconds" of the owning registry, and — if a
+// trace writer is installed (SetTraceWriter, the -trace-out flag) — emits
+// one JSONL SpanEvent.
+//
+// A Span from a disabled registry is inert: the zero value, whose methods
+// do nothing, so `sp := reg.StartSpan(...); defer sp.End()` is safe and
+// allocation-free on disabled hot paths.
+type Span struct {
+	reg   *Registry
+	name  string
+	start time.Time
+	attrs map[string]string
+}
+
+// SpanEvent is the JSONL record written per ended span when tracing is on.
+// Offline tooling (OBSERVABILITY.md shows jq recipes) aggregates these.
+type SpanEvent struct {
+	// Name is the span name, e.g. "core.game_value".
+	Name string `json:"name"`
+	// StartUnixNS is the span's start wall-clock time in Unix nanoseconds.
+	StartUnixNS int64 `json:"start_unix_ns"`
+	// DurNS is the span duration in nanoseconds.
+	DurNS int64 `json:"dur_ns"`
+	// Attrs carries the optional key/value annotations set via Annotate.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// StartSpan opens a span named name. While the registry is disabled this
+// returns the inert zero Span.
+func (r *Registry) StartSpan(name string) Span {
+	if !r.on() {
+		return Span{}
+	}
+	return Span{reg: r, name: name, start: time.Now()}
+}
+
+// Annotate attaches a key/value pair to the span, visible in the JSONL
+// event. No-op on an inert span.
+func (s *Span) Annotate(key, value string) {
+	if s.reg == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+}
+
+// End closes the span: records its duration into the "<name>.seconds"
+// histogram and, when a trace writer is set, writes one SpanEvent line.
+func (s *Span) End() {
+	if s.reg == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	s.reg.Histogram(s.name + ".seconds").Observe(dur.Seconds())
+	s.reg.writeSpanEvent(SpanEvent{
+		Name:        s.name,
+		StartUnixNS: s.start.UnixNano(),
+		DurNS:       dur.Nanoseconds(),
+		Attrs:       s.attrs,
+	})
+	s.reg = nil // make double-End harmless
+}
+
+// SetTraceWriter installs w as the JSONL sink for span events; nil
+// detaches the current sink. The registry serializes writes, so w needs no
+// locking of its own; the caller keeps ownership and closes w after the
+// traced workload finishes.
+func (r *Registry) SetTraceWriter(w io.Writer) {
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	r.traceW = w
+}
+
+// writeSpanEvent emits one JSONL line if a sink is installed. Encoding
+// errors are deliberately dropped: tracing is diagnostics, never a reason
+// to fail the traced computation.
+func (r *Registry) writeSpanEvent(ev SpanEvent) {
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	if r.traceW == nil {
+		return
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	_, _ = r.traceW.Write(append(data, '\n'))
+}
