@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test lint vet race bench fuzz-smoke linkcheck check
+.PHONY: all build test lint vet race bench benchdiff fuzz-smoke linkcheck check
 
 # DOCS is the documentation set linkcheck keeps honest (relative links and
 # heading anchors; see cmd/linkcheck).
@@ -30,11 +30,20 @@ race:
 	$(GO) test -race ./...
 
 # bench runs the experiment-engine micro/table benchmarks and then has the
-# CLI emit the BENCH_experiments.json throughput baseline (per-table wall
-# time, cells/sec, p50/p95 cell latency).
+# CLI emit the versioned BENCH_experiments.json perf record (schema v2:
+# git SHA, timestamp, host env, per-table wall time, cells/sec,
+# p50/p95/p99/max cell latency over BENCH_REPEAT robust samples) and
+# append the same record to the bench/history trajectory.
+BENCH_REPEAT ?= 3
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/experiments
-	$(GO) run ./cmd/experiments -quick -bench-out BENCH_experiments.json
+	$(GO) run ./cmd/experiments -quick -bench-repeat $(BENCH_REPEAT) \
+		-bench-out BENCH_experiments.json -bench-history bench/history
+
+# benchdiff gates the two most recent bench/history records against each
+# other (see OBSERVABILITY.md "Tracking performance over time").
+benchdiff:
+	$(GO) run ./cmd/benchdiff -min-samples 2 -min-wall-ms 1 -history bench/history
 
 # fuzz-smoke gives each native fuzz target a short budget; crashes fail
 # the target and land a reproducer under testdata/fuzz.

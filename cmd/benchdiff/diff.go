@@ -1,0 +1,184 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/defender-game/defender/internal/benchrec"
+)
+
+// options tunes the regression verdict.
+type options struct {
+	// tolerance is the fractional slowdown allowed before a table is a
+	// regression: 0.25 lets wall time grow (and throughput shrink) by a
+	// quarter before the gate fires.
+	tolerance float64
+	// minSamples is the min-sample guard: a table aggregated from fewer
+	// passes on either side is reported but never gated — one-shot
+	// timings are too noisy to fail a build over.
+	minSamples int
+	// minWallMS is an absolute noise floor: tables whose baseline wall
+	// time is below it are reported but not gated (sub-millisecond quick
+	// cells jitter by integer factors on loaded CI hosts).
+	minWallMS float64
+}
+
+// tableDelta is one table's comparison across the two reports.
+type tableDelta struct {
+	id string
+	// onlyIn is "" when the table exists in both reports, otherwise the
+	// side ("baseline"/"latest") that has it. One-sided tables are noted,
+	// never gated: a renamed or new experiment is not a slowdown.
+	onlyIn   string
+	old, cur benchrec.Table
+	// skipped carries the guard that excluded this table from gating
+	// ("" when gated).
+	skipped string
+	// reasons lists the metrics that regressed beyond tolerance; the
+	// table is a regression iff it is non-empty.
+	reasons []string
+}
+
+func (d tableDelta) regressed() bool { return len(d.reasons) > 0 }
+
+// diffResult is the full comparison: per-table deltas plus the headline
+// totals.
+type diffResult struct {
+	baseName, latestName string
+	base, latest         *benchrec.Report
+	tables               []tableDelta
+	regressions          int
+}
+
+// frac returns the fractional change (new-old)/old, or 0 when the
+// baseline is zero (delta of a structurally absent measurement; bench
+// metrics are non-negative, so <= is the exact zero test).
+func frac(old, new float64) float64 {
+	if old <= 0 {
+		return 0
+	}
+	return (new - old) / old
+}
+
+// diffReports compares two bench records table by table. Gating looks at
+// wall time for every two-sided table and at cell throughput for tables
+// with cell timing on both sides; the p50/p95/p99 deltas are rendered for
+// diagnosis but never gate (bucket-resolution percentiles of quick cells
+// are too coarse to fail a build over).
+func diffReports(baseName string, base *benchrec.Report, latestName string, latest *benchrec.Report, opt options) diffResult {
+	res := diffResult{baseName: baseName, latestName: latestName, base: base, latest: latest}
+
+	latestByID := make(map[string]benchrec.Table, len(latest.Tables))
+	for _, t := range latest.Tables {
+		latestByID[t.ID] = t
+	}
+	seen := make(map[string]bool, len(base.Tables))
+	for _, old := range base.Tables {
+		seen[old.ID] = true
+		cur, ok := latestByID[old.ID]
+		if !ok {
+			res.tables = append(res.tables, tableDelta{id: old.ID, onlyIn: "baseline", old: old})
+			continue
+		}
+		d := tableDelta{id: old.ID, old: old, cur: cur}
+		switch {
+		case old.Samples < opt.minSamples || cur.Samples < opt.minSamples:
+			d.skipped = fmt.Sprintf("samples %d/%d < %d", old.Samples, cur.Samples, opt.minSamples)
+		case old.WallMS < opt.minWallMS:
+			d.skipped = fmt.Sprintf("baseline wall %.3f ms below %.3f ms floor", old.WallMS, opt.minWallMS)
+		default:
+			if old.WallMS > 0 && cur.WallMS > old.WallMS*(1+opt.tolerance) {
+				d.reasons = append(d.reasons, fmt.Sprintf("wall %+.0f%%", 100*frac(old.WallMS, cur.WallMS)))
+			}
+			// Throughput gates only when both sides measured it:
+			// cell_timing:false tables report structural zeros there,
+			// which would otherwise read as a 100% regression.
+			if old.CellTiming && cur.CellTiming && old.CellsPerSec > 0 &&
+				cur.CellsPerSec < old.CellsPerSec*(1-opt.tolerance) {
+				d.reasons = append(d.reasons, fmt.Sprintf("cells/s %+.0f%%", 100*frac(old.CellsPerSec, cur.CellsPerSec)))
+			}
+		}
+		if d.regressed() {
+			res.regressions++
+		}
+		res.tables = append(res.tables, d)
+	}
+	for _, cur := range latest.Tables {
+		if !seen[cur.ID] {
+			res.tables = append(res.tables, tableDelta{id: cur.ID, onlyIn: "latest", cur: cur})
+		}
+	}
+	return res
+}
+
+// pair renders "old→new (+x%)" for one metric of a two-sided table.
+func pair(old, new float64, format string) string {
+	if old <= 0 && new <= 0 {
+		return "—"
+	}
+	return fmt.Sprintf(format+"→"+format+" (%+.1f%%)", old, new, 100*frac(old, new))
+}
+
+// describe is the one-line provenance of a report in the markdown header.
+func describe(name string, r *benchrec.Report) string {
+	sha := r.GitSHA
+	if sha == "" {
+		sha = "no-git"
+	} else if len(sha) > 12 {
+		sha = sha[:12]
+	}
+	mode := "full"
+	if r.Quick {
+		mode = "quick"
+	}
+	return fmt.Sprintf("`%s` — %s @ %s, %s suite, %d pass(es), %s/%s on %s",
+		name, sha, r.Timestamp.Format("2006-01-02T15:04:05Z"), mode, r.BenchRepeat, r.GOOS, r.GOARCH, r.Hostname)
+}
+
+// markdown renders the delta table the CI perf gate prints.
+func (res diffResult) markdown(opt options) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# benchdiff — %d table(s), %d regression(s)\n\n", len(res.tables), res.regressions)
+	fmt.Fprintf(&sb, "- baseline: %s\n", describe(res.baseName, res.base))
+	fmt.Fprintf(&sb, "- latest:   %s\n", describe(res.latestName, res.latest))
+	fmt.Fprintf(&sb, "- gate: tolerance ±%.0f%%, min samples %d, min wall %.3f ms\n",
+		100*opt.tolerance, opt.minSamples, opt.minWallMS)
+	if res.base.Hostname != res.latest.Hostname || res.base.GOOS != res.latest.GOOS || res.base.GOARCH != res.latest.GOARCH {
+		sb.WriteString("- **warning:** reports come from different hosts; deltas compare hardware, not code\n")
+	}
+	sb.WriteString("\n| table | wall ms | cells/s | cell p50 ms | cell p95 ms | cell p99 ms | verdict |\n")
+	sb.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, d := range res.tables {
+		var wall, cps, p50, p95, p99, verdict string
+		switch {
+		case d.onlyIn == "baseline":
+			wall, cps, p50, p95, p99 = fmt.Sprintf("%.3f→·", d.old.WallMS), "·", "·", "·", "·"
+			verdict = "only in baseline (not gated)"
+		case d.onlyIn == "latest":
+			wall, cps, p50, p95, p99 = fmt.Sprintf("·→%.3f", d.cur.WallMS), "·", "·", "·", "·"
+			verdict = "only in latest (not gated)"
+		default:
+			wall = pair(d.old.WallMS, d.cur.WallMS, "%.3f")
+			if d.old.CellTiming && d.cur.CellTiming {
+				cps = pair(d.old.CellsPerSec, d.cur.CellsPerSec, "%.0f")
+				p50 = pair(d.old.CellP50MS, d.cur.CellP50MS, "%.3f")
+				p95 = pair(d.old.CellP95MS, d.cur.CellP95MS, "%.3f")
+				p99 = pair(d.old.CellP99MS, d.cur.CellP99MS, "%.3f")
+			} else {
+				cps, p50, p95, p99 = "no cell timing", "—", "—", "—"
+			}
+			switch {
+			case d.skipped != "":
+				verdict = "skipped: " + d.skipped
+			case d.regressed():
+				verdict = "**REGRESSION** (" + strings.Join(d.reasons, ", ") + ")"
+			default:
+				verdict = "ok"
+			}
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s | %s | %s |\n", d.id, wall, cps, p50, p95, p99, verdict)
+	}
+	fmt.Fprintf(&sb, "\ntotal wall: %s ms (informational; includes all repeat passes)\n",
+		pair(res.base.TotalWallMS, res.latest.TotalWallMS, "%.1f"))
+	return sb.String()
+}

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/defender-game/defender/internal/benchrec"
+)
+
+// fixtureReport builds a plausible multi-table record: two runner-backed
+// tables and one cell_timing:false table, three samples each.
+func fixtureReport() *benchrec.Report {
+	return &benchrec.Report{
+		SchemaVersion: benchrec.SchemaVersion,
+		Suite:         "experiments",
+		Quick:         true,
+		Seed:          1,
+		GitSHA:        "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+		Timestamp:     time.Date(2026, 8, 5, 10, 0, 0, 0, time.UTC),
+		Hostname:      "ci-host",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		BenchRepeat:   3,
+		TotalWallMS:   40,
+		Tables: []benchrec.Table{
+			{ID: "E1", Rows: 39, Cells: 39, CellTiming: true, Samples: 3,
+				WallMS: 10, CellsPerSec: 3900, CellP50MS: 0.1, CellP95MS: 0.2, CellP99MS: 0.3, CellMaxMS: 0.5},
+			{ID: "E2", Rows: 26, Cells: 6, CellTiming: true, Samples: 3,
+				WallMS: 20, CellsPerSec: 300, CellP50MS: 2, CellP95MS: 4, CellP99MS: 5, CellMaxMS: 6},
+			{ID: "E3", Rows: 18, Cells: 0, CellTiming: false, Samples: 3, WallMS: 8},
+		},
+	}
+}
+
+func deltaByID(res diffResult, id string) (tableDelta, bool) {
+	for _, d := range res.tables {
+		if d.id == id {
+			return d, true
+		}
+	}
+	return tableDelta{}, false
+}
+
+func TestDiffIdenticalReportsIsClean(t *testing.T) {
+	res := diffReports("a.json", fixtureReport(), "b.json", fixtureReport(), options{tolerance: 0.25, minSamples: 1})
+	if res.regressions != 0 {
+		t.Fatalf("identical reports produced %d regressions: %s", res.regressions, res.markdown(options{}))
+	}
+	for _, d := range res.tables {
+		if d.skipped != "" || d.onlyIn != "" {
+			t.Errorf("%s unexpectedly not gated: %+v", d.id, d)
+		}
+	}
+}
+
+// The acceptance fixture: inflating one table's wall time 5x must fire
+// the gate.
+func TestDiffFlagsFiveFoldSlowdown(t *testing.T) {
+	slow := fixtureReport()
+	slow.Tables[1].WallMS *= 5
+	slow.Tables[1].CellsPerSec /= 5
+	res := diffReports("a.json", fixtureReport(), "b.json", slow, options{tolerance: 0.25, minSamples: 1})
+	if res.regressions != 1 {
+		t.Fatalf("regressions = %d, want exactly the inflated table", res.regressions)
+	}
+	d, _ := deltaByID(res, "E2")
+	if !d.regressed() {
+		t.Fatal("E2 not flagged")
+	}
+	joined := strings.Join(d.reasons, "; ")
+	if !strings.Contains(joined, "wall") || !strings.Contains(joined, "cells/s") {
+		t.Errorf("reasons %q should name both wall and throughput", joined)
+	}
+}
+
+// Tolerance boundary: growth of exactly (1+tol) is allowed; any more is a
+// regression.
+func TestDiffToleranceBoundary(t *testing.T) {
+	opt := options{tolerance: 0.25, minSamples: 1}
+	at := fixtureReport()
+	at.Tables[0].WallMS = 12.5 // exactly +25% over 10
+	if res := diffReports("a", fixtureReport(), "b", at, opt); res.regressions != 0 {
+		t.Errorf("exact-boundary growth must pass: %s", res.markdown(opt))
+	}
+	over := fixtureReport()
+	over.Tables[0].WallMS = 12.51
+	if res := diffReports("a", fixtureReport(), "b", over, opt); res.regressions != 1 {
+		t.Error("just-over-boundary growth must regress")
+	}
+}
+
+func TestDiffThroughputDropAloneRegresses(t *testing.T) {
+	slow := fixtureReport()
+	// Same wall, collapsed throughput (e.g. the table gained cells but
+	// each got much slower).
+	slow.Tables[0].CellsPerSec = 1000
+	res := diffReports("a", fixtureReport(), "b", slow, options{tolerance: 0.25, minSamples: 1})
+	d, _ := deltaByID(res, "E1")
+	if !d.regressed() || !strings.Contains(strings.Join(d.reasons, ";"), "cells/s") {
+		t.Errorf("throughput collapse not flagged: %+v", d)
+	}
+}
+
+// cell_timing:false tables gate on wall only; their structurally zero
+// throughput must never read as a 100% regression.
+func TestDiffZeroCellTables(t *testing.T) {
+	res := diffReports("a", fixtureReport(), "b", fixtureReport(), options{tolerance: 0.25, minSamples: 1})
+	d, ok := deltaByID(res, "E3")
+	if !ok || d.regressed() || d.skipped != "" {
+		t.Fatalf("identical E3 must gate clean on wall: %+v", d)
+	}
+	slow := fixtureReport()
+	slow.Tables[2].WallMS *= 5
+	res = diffReports("a", fixtureReport(), "b", slow, options{tolerance: 0.25, minSamples: 1})
+	d, _ = deltaByID(res, "E3")
+	if !d.regressed() {
+		t.Error("a 5x wall slowdown of a no-cell-timing table must still regress")
+	}
+	if strings.Contains(strings.Join(d.reasons, ";"), "cells/s") {
+		t.Errorf("throughput must not be compared for cell_timing:false tables: %v", d.reasons)
+	}
+	if !strings.Contains(res.markdown(options{}), "no cell timing") {
+		t.Error("markdown should mark the timing-less table")
+	}
+}
+
+// Mixed cell_timing (a table moved onto the runner between the two runs):
+// throughput is incomparable, wall still gates.
+func TestDiffMixedCellTimingSkipsThroughput(t *testing.T) {
+	migrated := fixtureReport()
+	migrated.Tables[2].Cells = 9
+	migrated.Tables[2].CellTiming = true
+	migrated.Tables[2].CellsPerSec = 1200
+	res := diffReports("a", fixtureReport(), "b", migrated, options{tolerance: 0.25, minSamples: 1})
+	d, _ := deltaByID(res, "E3")
+	if d.regressed() {
+		t.Errorf("gaining cell timing must not regress: %+v", d)
+	}
+}
+
+// A table present in only one report is reported but never gated.
+func TestDiffOneSidedTables(t *testing.T) {
+	latest := fixtureReport()
+	latest.Tables = latest.Tables[:2] // E3 dropped
+	latest.Tables = append(latest.Tables, benchrec.Table{ID: "E17", Rows: 1, Cells: 1, CellTiming: true, Samples: 3, WallMS: 1, CellsPerSec: 1000})
+	res := diffReports("a", fixtureReport(), "b", latest, options{tolerance: 0.25, minSamples: 1})
+	if res.regressions != 0 {
+		t.Fatalf("one-sided tables must not regress: %s", res.markdown(options{}))
+	}
+	if d, ok := deltaByID(res, "E3"); !ok || d.onlyIn != "baseline" {
+		t.Errorf("dropped table not reported as baseline-only: %+v", d)
+	}
+	if d, ok := deltaByID(res, "E17"); !ok || d.onlyIn != "latest" {
+		t.Errorf("new table not reported as latest-only: %+v", d)
+	}
+	md := res.markdown(options{})
+	if !strings.Contains(md, "only in baseline") || !strings.Contains(md, "only in latest") {
+		t.Error("markdown should note one-sided tables")
+	}
+}
+
+// The min-sample guard: under-sampled tables never gate, even when they
+// look five times slower.
+func TestDiffMinSampleGuard(t *testing.T) {
+	single := fixtureReport()
+	for i := range single.Tables {
+		single.Tables[i].Samples = 1
+	}
+	slow := fixtureReport()
+	for i := range slow.Tables {
+		slow.Tables[i].Samples = 1
+		slow.Tables[i].WallMS *= 5
+	}
+	res := diffReports("a", single, "b", slow, options{tolerance: 0.25, minSamples: 3})
+	if res.regressions != 0 {
+		t.Fatalf("under-sampled tables must be guarded: %s", res.markdown(options{}))
+	}
+	for _, d := range res.tables {
+		if d.skipped == "" {
+			t.Errorf("%s not marked skipped", d.id)
+		}
+	}
+}
+
+// The absolute noise floor: sub-floor baseline tables are informational.
+func TestDiffMinWallFloor(t *testing.T) {
+	slow := fixtureReport()
+	slow.Tables[0].WallMS *= 5
+	res := diffReports("a", fixtureReport(), "b", slow, options{tolerance: 0.25, minSamples: 1, minWallMS: 15})
+	d, _ := deltaByID(res, "E1")
+	if d.regressed() || !strings.Contains(d.skipped, "floor") {
+		t.Errorf("E1 (baseline 10ms < 15ms floor) must be skipped: %+v", d)
+	}
+	// E2's baseline (20ms) clears the floor, so its slowdown still gates.
+	if d2, _ := deltaByID(res, "E2"); d2.skipped != "" {
+		t.Errorf("E2 must stay gated above the floor: %+v", d2)
+	}
+}
+
+func TestDiffMarkdownHostMismatchWarning(t *testing.T) {
+	other := fixtureReport()
+	other.Hostname = "laptop"
+	res := diffReports("a", fixtureReport(), "b", other, options{tolerance: 0.25, minSamples: 1})
+	if !strings.Contains(res.markdown(options{}), "different hosts") {
+		t.Error("cross-host diff must carry a hardware warning")
+	}
+}
+
+func TestDiffMarkdownShape(t *testing.T) {
+	opt := options{tolerance: 0.25, minSamples: 1}
+	slow := fixtureReport()
+	slow.Tables[1].WallMS *= 5
+	md := diffReports("base.json", fixtureReport(), "new.json", slow, opt).markdown(opt)
+	for _, want := range []string{
+		"# benchdiff",
+		"| table | wall ms | cells/s |",
+		"**REGRESSION**",
+		"| E1 |",
+		"aaaaaaaaaaaa @ 2026-08-05",
+		"tolerance ±25%",
+		"total wall:",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command benchdiff is the perf-regression gate over the bench records of
+// cmd/experiments (internal/benchrec). It loads two reports — either two
+// explicit files or the two most recent entries of an append-only history
+// directory — renders a markdown delta table over per-table wall time,
+// cell throughput, and cell latency percentiles, and exits nonzero when
+// any table slowed down beyond the noise tolerance.
+//
+// Usage:
+//
+//	benchdiff [-tolerance 0.25] [-min-samples 1] [-min-wall-ms 0] OLD.json NEW.json
+//	benchdiff [flags] -history bench/history
+//
+// Exit codes: 0 no regression, 1 regression beyond tolerance, 2 usage or
+// load error (malformed or old-schema records are refused, not guessed
+// at). The verdict rules — what gates, what is only reported, and the
+// min-sample and noise-floor guards — are documented on diffReports and
+// in OBSERVABILITY.md "Tracking performance over time".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/defender-game/defender/internal/benchrec"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain runs the gate and returns the process exit code.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		opt     options
+		history = fs.String("history", "", "diff the two most recent records of this directory instead of two explicit files")
+	)
+	fs.Float64Var(&opt.tolerance, "tolerance", 0.25, "fractional slowdown allowed before a table regresses (0.25 = 25%)")
+	fs.IntVar(&opt.minSamples, "min-samples", 1, "tables with fewer -bench-repeat samples on either side are reported, not gated")
+	fs.Float64Var(&opt.minWallMS, "min-wall-ms", 0, "tables with baseline wall time below this are reported, not gated")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if opt.tolerance < 0 {
+		fmt.Fprintln(stderr, "benchdiff: -tolerance must be >= 0")
+		return 2
+	}
+
+	var basePath, latestPath string
+	switch {
+	case *history != "":
+		if fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "benchdiff: -history and explicit report files are mutually exclusive")
+			return 2
+		}
+		var err error
+		basePath, latestPath, err = benchrec.LatestPair(*history)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+	case fs.NArg() == 2:
+		basePath, latestPath = fs.Arg(0), fs.Arg(1)
+	default:
+		fmt.Fprintln(stderr, "benchdiff: want two report files (OLD NEW) or -history DIR")
+		return 2
+	}
+
+	base, err := benchrec.Load(basePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	latest, err := benchrec.Load(latestPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+
+	res := diffReports(basePath, base, latestPath, latest, opt)
+	fmt.Fprint(stdout, res.markdown(opt))
+	if res.regressions > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d table(s) regressed beyond the ±%.0f%% tolerance\n", res.regressions, 100*opt.tolerance)
+		return 1
+	}
+	return 0
+}

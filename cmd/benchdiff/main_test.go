@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMainExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := fixtureReport()
+	basePath := filepath.Join(dir, "base.json")
+	if err := base.Save(basePath); err != nil {
+		t.Fatal(err)
+	}
+	identical := filepath.Join(dir, "identical.json")
+	if err := fixtureReport().Save(identical); err != nil {
+		t.Fatal(err)
+	}
+	slow := fixtureReport()
+	slow.Tables[1].WallMS *= 5
+	slow.Tables[1].CellsPerSec /= 5
+	slowPath := filepath.Join(dir, "slow.json")
+	if err := slow.Save(slowPath); err != nil {
+		t.Fatal(err)
+	}
+	malformed := filepath.Join(dir, "malformed.json")
+	if err := os.WriteFile(malformed, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	oldSchema := filepath.Join(dir, "old.json")
+	if err := os.WriteFile(oldSchema, []byte(`{"suite":"experiments","tables":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name     string
+		args     []string
+		wantExit int
+		wantErr  string
+	}{
+		{"identical reports pass", []string{basePath, identical}, 0, ""},
+		{"5x slowdown fails", []string{basePath, slowPath}, 1, "regressed beyond"},
+		{"coarse tolerance forgives", []string{"-tolerance", "10", basePath, slowPath}, 0, ""},
+		{"malformed report refused", []string{basePath, malformed}, 2, "not a bench record"},
+		{"old schema refused", []string{basePath, oldSchema}, 2, "no schema_version"},
+		{"missing file refused", []string{basePath, filepath.Join(dir, "absent.json")}, 2, ""},
+		{"one positional arg is usage error", []string{basePath}, 2, "want two report files"},
+		{"no args is usage error", nil, 2, "want two report files"},
+		{"negative tolerance refused", []string{"-tolerance", "-1", basePath, identical}, 2, "must be >= 0"},
+		{"history plus files refused", []string{"-history", dir, basePath, identical}, 2, "mutually exclusive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := realMain(tc.args, &stdout, &stderr); got != tc.wantExit {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", got, tc.wantExit, stdout.String(), stderr.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestMainHistoryMode(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "history")
+
+	var stdout, stderr bytes.Buffer
+	if got := realMain([]string{"-history", dir}, &stdout, &stderr); got != 2 {
+		t.Fatalf("empty history dir: exit %d, want 2 (%s)", got, stderr.String())
+	}
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	older := fixtureReport()
+	older.Timestamp = time.Date(2026, 8, 5, 9, 0, 0, 0, time.UTC)
+	if err := older.Save(filepath.Join(dir, "20260805T090000Z-aaaa.json")); err != nil {
+		t.Fatal(err)
+	}
+	newer := fixtureReport()
+	newer.Timestamp = time.Date(2026, 8, 5, 10, 0, 0, 0, time.UTC)
+	newer.Tables[0].WallMS *= 5
+	if err := newer.Save(filepath.Join(dir, "20260805T100000Z-bbbb.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if got := realMain([]string{"-history", dir}, &stdout, &stderr); got != 1 {
+		t.Fatalf("history diff with slowdown: exit %d, want 1\n%s%s", got, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSION") {
+		t.Error("markdown output missing the regression verdict")
+	}
+}

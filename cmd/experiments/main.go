@@ -5,23 +5,28 @@
 //
 // Tables execute their independent (graph, k) cells on a bounded worker
 // pool (-workers, default GOMAXPROCS); output is byte-identical for any
-// worker count. -bench-out writes a JSON perf baseline (per-table wall
-// time, cell throughput, p50/p95 cell latency, and the full metrics
-// snapshot of the instrumented solver stack) for trend tracking.
+// worker count. -bench-out writes a versioned JSON perf record
+// (internal/benchrec: git SHA, timestamp, host environment, per-table
+// wall time, cell throughput, p50/p95/p99/max cell latency, and the full
+// metrics snapshot of the instrumented solver stack); -bench-repeat N
+// times each table N times and aggregates with robust min/median
+// statistics so single-run noise doesn't pollute the record;
+// -bench-history appends the same record to an append-only directory,
+// building the longitudinal baseline that cmd/benchdiff gates against.
 //
 // Observability (see OBSERVABILITY.md): metrics are always recorded;
-// -debug-addr serves live /metrics, expvar and net/http/pprof while the
-// suite runs; -trace-out streams span events as JSONL for offline
-// analysis.
+// -debug-addr serves live /metrics (JSON, or Prometheus exposition via
+// ?format=prometheus), expvar and net/http/pprof while the suite runs;
+// -trace-out streams span events as JSONL for offline analysis.
 //
 // Usage:
 //
 //	experiments [-quick] [-seed N] [-only E2,E5] [-workers N]
-//	            [-bench-out FILE] [-debug-addr HOST:PORT] [-trace-out FILE]
+//	            [-bench-out FILE] [-bench-repeat N] [-bench-history DIR]
+//	            [-debug-addr HOST:PORT] [-trace-out FILE]
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/defender-game/defender/internal/benchrec"
 	"github.com/defender-game/defender/internal/experiments"
 	"github.com/defender-game/defender/internal/obs"
 )
@@ -40,37 +46,6 @@ func main() {
 	}
 }
 
-// benchTable is one table's entry in the -bench-out JSON.
-type benchTable struct {
-	ID          string  `json:"id"`
-	Rows        int     `json:"rows"`
-	Cells       int     `json:"cells"`
-	WallMS      float64 `json:"wall_ms"`
-	CellsPerSec float64 `json:"cells_per_sec"`
-	CellP50MS   float64 `json:"cell_p50_ms"`
-	CellP95MS   float64 `json:"cell_p95_ms"`
-}
-
-// benchReport is the schema of BENCH_experiments.json. Parallelism is
-// recorded twice on purpose: workers_requested is the raw -workers flag
-// (0 = defaulted) while workers_effective is the pool size the tables
-// actually ran with — previously only the raw flag was written, so a
-// defaulted run was indistinguishable from a single-worker one.
-type benchReport struct {
-	Suite            string       `json:"suite"`
-	Quick            bool         `json:"quick"`
-	Seed             int64        `json:"seed"`
-	WorkersRequested int          `json:"workers_requested"`
-	WorkersEffective int          `json:"workers_effective"`
-	GoMaxProcs       int          `json:"gomaxprocs"`
-	TotalWallMS      float64      `json:"total_wall_ms"`
-	Tables           []benchTable `json:"tables"`
-	// Metrics is the full observability snapshot taken after the suite:
-	// cache hit/miss/store counts, solver iteration counters, and latency
-	// histograms (see OBSERVABILITY.md for the catalogue).
-	Metrics obs.Snapshot `json:"metrics"`
-}
-
 // effectiveWorkers resolves the -workers flag the same way the runner
 // does: non-positive means one worker per logical CPU.
 func effectiveWorkers(requested int) int {
@@ -80,20 +55,54 @@ func effectiveWorkers(requested int) int {
 	return requested
 }
 
+// durMS converts a duration to the report's millisecond unit with the
+// microsecond resolution the schema has always used.
+func durMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1e3
+}
+
+// benchEntry maps one completed table run onto its bench-record sample.
+// Tables whose work happens outside the cell runner (Stats.Cells == 0)
+// are marked cell_timing:false: their throughput and percentile fields
+// are structurally zero, and benchdiff skips throughput comparison.
+func benchEntry(t experiments.Table, wall time.Duration) benchrec.Table {
+	e := benchrec.Table{
+		ID:         t.ID,
+		Rows:       len(t.Rows),
+		Cells:      t.Stats.Cells,
+		CellTiming: t.Stats.Cells > 0,
+		Samples:    1,
+		WallMS:     durMS(wall),
+	}
+	if e.CellTiming {
+		e.CellsPerSec = t.Stats.CellsPerSec()
+		e.CellP50MS = durMS(t.Stats.CellP50)
+		e.CellP95MS = durMS(t.Stats.CellP95)
+		e.CellP99MS = durMS(t.Stats.CellP99)
+		e.CellMaxMS = durMS(t.Stats.CellMax)
+	}
+	return e
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		quick     = fs.Bool("quick", false, "run reduced sweeps")
-		seed      = fs.Int64("seed", 1, "workload seed")
-		only      = fs.String("only", "", "comma-separated experiment ids (e.g. E2,E5); empty = all")
-		figures   = fs.Bool("figures", false, "also render the F1/F2 plain-text figures")
-		workers   = fs.Int("workers", 0, "cell worker pool size per table; 0 = GOMAXPROCS")
-		benchOut  = fs.String("bench-out", "", "write a JSON perf baseline (e.g. BENCH_experiments.json)")
-		debugAddr = fs.String("debug-addr", "", "serve /metrics, expvar and pprof on this address while running (e.g. localhost:6060)")
-		traceOut  = fs.String("trace-out", "", "stream span events as JSONL to this file")
+		quick        = fs.Bool("quick", false, "run reduced sweeps")
+		seed         = fs.Int64("seed", 1, "workload seed")
+		only         = fs.String("only", "", "comma-separated experiment ids (e.g. E2,E5); empty = all")
+		figures      = fs.Bool("figures", false, "also render the F1/F2 plain-text figures")
+		workers      = fs.Int("workers", 0, "cell worker pool size per table; 0 = GOMAXPROCS")
+		benchOut     = fs.String("bench-out", "", "write a JSON perf record (e.g. BENCH_experiments.json)")
+		benchRepeat  = fs.Int("bench-repeat", 1, "timing passes per table; samples aggregate by min wall / median percentiles")
+		benchHistory = fs.String("bench-history", "", "also append the perf record to this directory (see cmd/benchdiff)")
+		debugAddr    = fs.String("debug-addr", "", "serve /metrics, expvar and pprof on this address while running (e.g. localhost:6060)")
+		traceOut     = fs.String("trace-out", "", "stream span events as JSONL to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *benchRepeat < 1 {
+		return fmt.Errorf("bench-repeat: %d passes make no sense; want >= 1", *benchRepeat)
 	}
 	reg := obs.Default()
 	reg.SetEnabled(true)
@@ -125,13 +134,14 @@ func run(args []string) error {
 		}
 	}
 
-	report := benchReport{
+	report := benchrec.Report{
 		Suite:            "experiments",
 		Quick:            *quick,
 		Seed:             *seed,
 		WorkersRequested: *workers,
 		WorkersEffective: effectiveWorkers(*workers),
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		BenchRepeat:      *benchRepeat,
 	}
 	failures := 0
 	ran := 0
@@ -141,31 +151,33 @@ func run(args []string) error {
 			continue
 		}
 		ran++
-		sp := reg.StartSpan("experiments.table")
-		sp.Annotate("id", e.ID)
-		tableStart := time.Now()
-		table, err := e.Run(cfg)
-		tableWall := time.Since(tableStart)
-		sp.End()
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+		// Pass 0 prints the table and counts self-check failures; the
+		// suite is deterministic for a fixed Config, so the remaining
+		// -bench-repeat passes only contribute timing samples.
+		samples := make([]benchrec.Table, 0, *benchRepeat)
+		for pass := 0; pass < *benchRepeat; pass++ {
+			sp := reg.StartSpan("experiments.table")
+			sp.Annotate("id", e.ID)
+			tableStart := time.Now()
+			table, err := e.Run(cfg)
+			tableWall := time.Since(tableStart)
+			sp.End()
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			samples = append(samples, benchEntry(table, tableWall))
+			if pass > 0 {
+				continue
+			}
+			fmt.Println(table.Render())
+			if bad := table.Failures(); len(bad) > 0 {
+				failures += len(bad)
+				fmt.Fprintf(os.Stderr, "%s: %d self-check failures\n", e.ID, len(bad))
+			}
 		}
-		fmt.Println(table.Render())
-		if bad := table.Failures(); len(bad) > 0 {
-			failures += len(bad)
-			fmt.Fprintf(os.Stderr, "%s: %d self-check failures\n", e.ID, len(bad))
-		}
-		report.Tables = append(report.Tables, benchTable{
-			ID:          table.ID,
-			Rows:        len(table.Rows),
-			Cells:       table.Stats.Cells,
-			WallMS:      float64(tableWall.Microseconds()) / 1e3,
-			CellsPerSec: table.Stats.CellsPerSec(),
-			CellP50MS:   float64(table.Stats.CellP50.Microseconds()) / 1e3,
-			CellP95MS:   float64(table.Stats.CellP95.Microseconds()) / 1e3,
-		})
+		report.Tables = append(report.Tables, benchrec.Aggregate(samples))
 	}
-	report.TotalWallMS = float64(time.Since(suiteStart).Microseconds()) / 1e3
+	report.TotalWallMS = durMS(time.Since(suiteStart))
 	if *figures {
 		for _, f := range experiments.Figures() {
 			fig, err := f.Run(cfg)
@@ -175,23 +187,29 @@ func run(args []string) error {
 			fmt.Printf("%s — %s\n%s\n", fig.ID, fig.Title, fig.Body)
 			if !fig.OK {
 				failures++
-				fmt.Fprintf(os.Stderr, "%s: self-check failed\n", fig.ID)
+				fmt.Fprintf(os.Stderr, "%s: self-check failed\n", f.ID)
 			}
 		}
 	}
 	if ran == 0 && !*figures {
 		return fmt.Errorf("no experiments matched -only=%q", *only)
 	}
-	if *benchOut != "" {
+	if *benchOut != "" || *benchHistory != "" {
+		report.StampEnvironment("")
 		report.Metrics = reg.Snapshot()
-		data, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			return fmt.Errorf("bench-out: %w", err)
+		if *benchOut != "" {
+			if err := report.Save(*benchOut); err != nil {
+				return fmt.Errorf("bench-out: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote perf record to %s (%.1f ms total, %d pass(es))\n", *benchOut, report.TotalWallMS, *benchRepeat)
 		}
-		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
-			return fmt.Errorf("bench-out: %w", err)
+		if *benchHistory != "" {
+			path, err := benchrec.AppendHistory(*benchHistory, &report)
+			if err != nil {
+				return fmt.Errorf("bench-history: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "appended perf record to %s\n", path)
 		}
-		fmt.Fprintf(os.Stderr, "wrote perf baseline to %s (%.1f ms total)\n", *benchOut, report.TotalWallMS)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d self-check failures across the suite", failures)

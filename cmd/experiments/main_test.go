@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/defender-game/defender/internal/benchrec"
 	"github.com/defender-game/defender/internal/obs"
 )
 
@@ -51,7 +52,7 @@ func TestRunBenchOut(t *testing.T) {
 	if err != nil {
 		t.Fatalf("bench file not written: %v", err)
 	}
-	var report benchReport
+	var report benchrec.Report
 	if err := json.Unmarshal(data, &report); err != nil {
 		t.Fatalf("bench file is not valid JSON: %v", err)
 	}
@@ -104,7 +105,7 @@ func TestRunBenchOutRecordsEffectiveWorkers(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			var report benchReport
+			var report benchrec.Report
 			if err := json.Unmarshal(data, &report); err != nil {
 				t.Fatal(err)
 			}
@@ -133,7 +134,7 @@ func TestRunBenchOutMetricsSection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var report benchReport
+	var report benchrec.Report
 	if err := json.Unmarshal(data, &report); err != nil {
 		t.Fatal(err)
 	}
@@ -223,5 +224,135 @@ func TestRunDebugAddrServesMetrics(t *testing.T) {
 	}
 	if len(snap.Counters) == 0 {
 		t.Error("/metrics snapshot has no counters after a suite run")
+	}
+}
+
+// The schema acceptance criterion: a fresh -bench-out record carries the
+// schema version, git SHA, timestamp and per-table p99/max, and
+// round-trips through benchrec Load/Save byte-identically.
+func TestRunBenchOutSchemaAndRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-quick", "-only", "E1", "-bench-out", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	written, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := benchrec.Load(path)
+	if err != nil {
+		t.Fatalf("fresh record does not Load: %v", err)
+	}
+	if rep.SchemaVersion != benchrec.SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", rep.SchemaVersion, benchrec.SchemaVersion)
+	}
+	if len(rep.GitSHA) != 40 {
+		t.Errorf("git_sha = %q, want a 40-char commit (test runs inside the repo)", rep.GitSHA)
+	}
+	if rep.Timestamp.IsZero() {
+		t.Error("timestamp missing")
+	}
+	if rep.GOOS != runtime.GOOS || rep.GOARCH != runtime.GOARCH || rep.Hostname == "" {
+		t.Errorf("host stamp wrong: goos=%q goarch=%q hostname=%q", rep.GOOS, rep.GOARCH, rep.Hostname)
+	}
+	if len(rep.Tables) != 1 {
+		t.Fatalf("want 1 table entry, got %d", len(rep.Tables))
+	}
+	e1 := rep.Tables[0]
+	if !e1.CellTiming || e1.CellMaxMS <= 0 {
+		t.Errorf("E1 entry must carry cell timing with a positive max: %+v", e1)
+	}
+	if e1.CellP95MS > e1.CellP99MS || e1.CellP99MS > e1.CellMaxMS {
+		t.Errorf("tail stats not monotone: %+v", e1)
+	}
+	resaved, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(written) != string(resaved) {
+		t.Error("-bench-out record does not round-trip byte-identically through benchrec")
+	}
+}
+
+// -bench-repeat N runs each table N times and aggregates the samples.
+func TestRunBenchRepeatAggregates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-quick", "-only", "E1", "-bench-repeat", "3", "-bench-out", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rep, err := benchrec.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BenchRepeat != 3 {
+		t.Errorf("bench_repeat = %d, want 3", rep.BenchRepeat)
+	}
+	if len(rep.Tables) != 1 || rep.Tables[0].Samples != 3 {
+		t.Fatalf("want one E1 entry aggregating 3 samples, got %+v", rep.Tables)
+	}
+	if rep.Tables[0].WallMS <= 0 || rep.Tables[0].CellsPerSec <= 0 {
+		t.Errorf("aggregated timing must stay positive: %+v", rep.Tables[0])
+	}
+}
+
+func TestRunBenchRepeatInvalid(t *testing.T) {
+	if err := run([]string{"-quick", "-only", "E1", "-bench-repeat", "0"}); err == nil {
+		t.Error("bench-repeat 0 must fail")
+	}
+}
+
+// -bench-history appends one record per run without overwriting.
+func TestRunBenchHistoryAppends(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "history")
+	for i := 0; i < 2; i++ {
+		if err := run([]string{"-quick", "-only", "E1", "-bench-history", dir}); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	paths, err := benchrec.ListHistory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("history holds %d records, want 2", len(paths))
+	}
+	for _, p := range paths {
+		if _, err := benchrec.Load(p); err != nil {
+			t.Errorf("history record %s does not load: %v", p, err)
+		}
+	}
+}
+
+// Tables whose work happens outside the cell runner (E3 here) are marked
+// cell_timing:false with structurally zero throughput — not reported as a
+// measured zero, which benchdiff would read as a full regression.
+func TestRunBenchOutMarksZeroCellTables(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-quick", "-only", "E1,E3", "-bench-out", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rep, err := benchrec.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]benchrec.Table{}
+	for _, tab := range rep.Tables {
+		byID[tab.ID] = tab
+	}
+	e3, ok := byID["E3"]
+	if !ok {
+		t.Fatal("E3 entry missing")
+	}
+	if e3.CellTiming || e3.Cells != 0 {
+		t.Errorf("E3 must be cell_timing:false with zero cells: %+v", e3)
+	}
+	if e3.CellsPerSec != 0 || e3.CellP99MS != 0 || e3.CellMaxMS != 0 {
+		t.Errorf("E3 throughput fields must stay structurally zero: %+v", e3)
+	}
+	if e3.WallMS <= 0 {
+		t.Errorf("E3 wall time is still measured: %+v", e3)
+	}
+	if e1 := byID["E1"]; !e1.CellTiming {
+		t.Errorf("E1 must keep cell timing: %+v", e1)
 	}
 }

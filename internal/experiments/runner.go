@@ -137,6 +137,10 @@ type RunStats struct {
 	CellP50 time.Duration
 	// CellP95 is the 95th-percentile single-cell latency.
 	CellP95 time.Duration
+	// CellP99 is the 99th-percentile single-cell latency.
+	CellP99 time.Duration
+	// CellMax is the slowest single cell observed.
+	CellMax time.Duration
 }
 
 // CellsPerSec is the cell throughput over the runner's wall time.
@@ -160,6 +164,8 @@ func (r *Runner) Stats() RunStats {
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	s.CellP50 = percentile(sorted, 50)
 	s.CellP95 = percentile(sorted, 95)
+	s.CellP99 = percentile(sorted, 99)
+	s.CellMax = sorted[len(sorted)-1]
 	return s
 }
 

@@ -110,6 +110,9 @@ func TestRunnerStats(t *testing.T) {
 	if s.CellP50 <= 0 || s.CellP95 < s.CellP50 {
 		t.Errorf("percentiles p50=%v p95=%v inconsistent", s.CellP50, s.CellP95)
 	}
+	if s.CellP99 < s.CellP95 || s.CellMax < s.CellP99 {
+		t.Errorf("tail stats p95=%v p99=%v max=%v not monotone", s.CellP95, s.CellP99, s.CellMax)
+	}
 	if s.CellsPerSec() <= 0 {
 		t.Errorf("CellsPerSec = %v, want > 0", s.CellsPerSec())
 	}
@@ -157,6 +160,28 @@ func TestPercentile(t *testing.T) {
 	}
 	if got := percentile([]time.Duration{7}, 50); got != 7 {
 		t.Errorf("single-element p50 = %v, want 7", got)
+	}
+	if got := percentile(sorted, 99); got != 10 {
+		t.Errorf("p99 = %v, want 10", got)
+	}
+}
+
+// TestRunnerStatsMax: CellMax is the exact slowest cell, not an estimate.
+func TestRunnerStatsMax(t *testing.T) {
+	r := NewRunner(2)
+	_, err := r.Run([]Cell{
+		func() ([][]string, error) { return nil, nil },
+		func() ([][]string, error) { time.Sleep(3 * time.Millisecond); return nil, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if s.CellMax < 3*time.Millisecond {
+		t.Errorf("CellMax = %v, want >= 3ms (the slow cell)", s.CellMax)
+	}
+	if s.CellP99 > s.CellMax {
+		t.Errorf("p99 %v exceeds max %v", s.CellP99, s.CellMax)
 	}
 }
 

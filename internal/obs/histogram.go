@@ -158,6 +158,20 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return math.Min(math.Max(est, lo), hi)
 }
 
+// bucketCounts copies the raw per-bucket observation counts — the input
+// of the cumulative Prometheus _bucket series (prometheus.go). The copy
+// is a best-effort cut under concurrent writes, like Snapshot.
+func (h *Histogram) bucketCounts() [histBuckets]uint64 {
+	var counts [histBuckets]uint64
+	if h == nil {
+		return counts
+	}
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return counts
+}
+
 // HistogramSnapshot is the JSON form of a histogram: count, sum, exact
 // min/max, and the estimated 50th/95th/99th percentiles, in the metric's
 // observation unit.

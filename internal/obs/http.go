@@ -5,13 +5,16 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 )
 
 // NewDebugMux builds the handler behind the -debug-addr flag of
 // cmd/experiments and cmd/defender:
 //
-//	/metrics            the registry snapshot as indented JSON
+//	/metrics            the registry snapshot as indented JSON; with
+//	                    ?format=prometheus (or an Accept header asking
+//	                    for text exposition) the Prometheus rendering
 //	/debug/vars         expvar (includes the registry under "defender.metrics")
 //	/debug/pprof/...    the standard net/http/pprof profiles
 //
@@ -20,6 +23,11 @@ import (
 func NewDebugMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if wantsPrometheus(req) {
+			w.Header().Set("Content-Type", PrometheusContentType)
+			_ = r.WritePrometheus(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.Snapshot().WriteJSON(w)
 	})
@@ -30,6 +38,25 @@ func NewDebugMux(r *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// wantsPrometheus decides the /metrics representation. The explicit
+// ?format=prometheus query wins; otherwise a scraper-style Accept header
+// (OpenMetrics, or text/plain without asking for JSON) selects the
+// exposition format. Plain curls and browsers (Accept */* or text/html)
+// keep getting JSON, so existing tooling is unaffected.
+func wantsPrometheus(req *http.Request) bool {
+	switch req.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := req.Header.Get("Accept")
+	if strings.Contains(accept, "application/openmetrics-text") {
+		return true
+	}
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
 }
 
 // publishOnce guards the process-global expvar name, which panics on

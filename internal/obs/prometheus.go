@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition format
+// this package renders (the pre-OpenMetrics format every Prometheus
+// scraper accepts).
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format, so the -debug-addr server is scrapeable by standard
+// collectors (GET /metrics?format=prometheus, or an Accept header asking
+// for text; see NewDebugMux). Without external dependencies the encoding
+// is done by hand, which the format is explicitly designed to allow.
+//
+// Dot-separated registry names become underscore-separated Prometheus
+// names ("experiments.cells.ok" → "experiments_cells_ok"); metrics are
+// emitted in sorted name order so the output is deterministic. Histograms
+// become the conventional cumulative triplet: one "_bucket" series per
+// geometric bucket upper bound with an `le` label (trailing empty buckets
+// elided), a terminal le="+Inf" bucket, and "_sum"/"_count" series. The
+// +Inf bucket and _count are both computed from the same bucket sweep, so
+// the exposition invariant bucket{le="+Inf"} == count holds even while
+// writers race the render.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(bw, "%s %d\n", pn, r.counters[name].Value())
+	}
+
+	names = names[:0]
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(bw, "%s %s\n", pn, promFloat(r.gauges[name].Value()))
+	}
+
+	names = names[:0]
+	for name := range r.histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writePromHistogram(bw, promName(name), r.histograms[name])
+	}
+	return bw.Flush()
+}
+
+// writePromHistogram emits one histogram's cumulative series.
+func writePromHistogram(w io.Writer, pn string, h *Histogram) {
+	counts := h.bucketCounts()
+	last := -1
+	for i, c := range counts {
+		if c > 0 {
+			last = i
+		}
+	}
+	fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(bucketUpper(i)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", pn, cum)
+}
+
+// promName maps a registry metric name onto the Prometheus name charset
+// [a-zA-Z0-9_:], replacing every other rune (the dots of this repo's
+// naming scheme, mostly) with '_' and prefixing a '_' when the first rune
+// is a digit.
+func promName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promFloat renders a float the way Prometheus parsers expect: shortest
+// round-trip form, no localized formatting.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
