@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test lint vet race bench benchdiff fuzz-smoke linkcheck check
+.PHONY: all build test lint vet race bench bench-kernel benchdiff fuzz-smoke linkcheck check
 
 # DOCS is the documentation set linkcheck keeps honest (relative links and
 # heading anchors; see cmd/linkcheck).
@@ -40,6 +40,15 @@ bench:
 	$(GO) run ./cmd/experiments -quick -bench-repeat $(BENCH_REPEAT) \
 		-bench-out BENCH_experiments.json -bench-history bench/history
 
+# bench-kernel runs the arithmetic-kernel and solver hot-loop benchmarks
+# (internal/rat, internal/lp, internal/core, internal/game) and folds them
+# into a schema-v2 record via cmd/benchkernel, appended to bench/history so
+# benchdiff can gate kernel regressions exactly like experiment tables.
+KERNEL_PKGS = ./internal/rat ./internal/lp ./internal/core ./internal/game
+bench-kernel:
+	$(GO) test -run='^$$' -bench=. -count=$(BENCH_REPEAT) $(KERNEL_PKGS) | \
+		$(GO) run ./cmd/benchkernel -out BENCH_kernel.json -history bench/history
+
 # benchdiff gates the two most recent bench/history records against each
 # other (see OBSERVABILITY.md "Tracking performance over time").
 benchdiff:
@@ -50,6 +59,7 @@ benchdiff:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeProfile -fuzztime=$(FUZZTIME) ./internal/game
+	$(GO) test -run='^$$' -fuzz=FuzzRatVsBigRat -fuzztime=$(FUZZTIME) ./internal/rat
 
 linkcheck:
 	$(GO) run ./cmd/linkcheck $(DOCS)

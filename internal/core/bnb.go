@@ -6,6 +6,8 @@ import (
 
 	"github.com/defender-game/defender/internal/game"
 	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/obs"
+	"github.com/defender-game/defender/internal/rat"
 )
 
 // Branch-and-bound maximizer for the general case of MaxTupleLoad:
@@ -16,66 +18,82 @@ import (
 // current load plus the largest remaining potentials — cannot beat the
 // incumbent. Exact when it completes; bounded by a node budget so callers
 // get ErrCannotVerify instead of an open-ended search.
+//
+// All arithmetic runs on internal/rat: loads coming from game profiles
+// have word-sized numerators and denominators, so potentials, prefix
+// bounds, and the running load stay on the allocation-free int64 fast
+// path and only promote to big.Rat on overflow.
 
-// bnbNodeBudget caps the number of search-tree nodes expanded.
-const bnbNodeBudget = 4_000_000
+// BnBNodeBudget caps the number of search-tree nodes the branch-and-bound
+// maximizer expands before giving up. When the budget trips, MaxTupleLoad
+// returns ErrCannotVerify rather than an inexact answer — the budget
+// bounds time, never correctness. The counters core.bnb.nodes_expanded
+// and core.bnb.nodes_pruned report how much of the budget a search used.
+const BnBNodeBudget = 4_000_000
+
+// bnbNodeBudget is the live budget; tests shrink it to force the
+// exhausted path deterministically.
+var bnbNodeBudget = BnBNodeBudget
+
+var (
+	obsBnBExpanded = obs.Default().Counter("core.bnb.nodes_expanded")
+	obsBnBPruned   = obs.Default().Counter("core.bnb.nodes_pruned")
+)
 
 // maxLoadBranchBound computes max_t m(t) exactly for arbitrary nonnegative
 // loads, or ok=false if the node budget is exhausted first.
 func maxLoadBranchBound(g *graph.Graph, k int, loads []*big.Rat) (*big.Rat, game.Tuple, bool) {
 	m := g.NumEdges()
+	rloads := rat.FromBig(loads)
 	// Edges sorted by descending potential.
 	order := make([]int, m)
 	for i := range order {
 		order[i] = i
 	}
-	potential := make([]*big.Rat, m)
+	potential := rat.NewVec(m)
 	for id := 0; id < m; id++ {
 		e := g.EdgeByID(id)
-		potential[id] = new(big.Rat).Add(loads[e.U], loads[e.V])
+		potential[id].Add(&rloads[e.U], &rloads[e.V])
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		return potential[order[a]].Cmp(potential[order[b]]) > 0
+		return potential[order[a]].Cmp(&potential[order[b]]) > 0
 	})
-	// prefix[i] = sum of the i largest potentials (in sorted order).
-	prefix := make([]*big.Rat, m+1)
-	prefix[0] = new(big.Rat)
+	// prefix[i] = sum of the i largest potentials (in sorted order), so the
+	// best c potentials at sorted positions >= pos sum to
+	// prefix[min(pos+c, m)] - prefix[pos].
+	prefix := rat.NewVec(m + 1)
 	for i, id := range order {
-		prefix[i+1] = new(big.Rat).Add(prefix[i], potential[id])
-	}
-	// topRemaining(pos, c) = sum of the c largest potentials at sorted
-	// positions >= pos — they are exactly positions pos..pos+c-1.
-	topRemaining := func(pos, c int) *big.Rat {
-		hi := pos + c
-		if hi > m {
-			hi = m
-		}
-		return new(big.Rat).Sub(prefix[hi], prefix[pos])
+		prefix[i+1].Add(&prefix[i], &potential[id])
 	}
 
 	var (
-		best      = new(big.Rat).SetInt64(-1)
-		bestIDs   []int
-		chosen    = make([]int, 0, k)
-		covered   = make(map[int]int, 2*k)
-		current   = new(big.Rat)
-		nodes     = 0
-		exhausted = false
+		best    rat.Rat
+		bestIDs []int
+		found   = false
+		chosen  = make([]int, 0, k)
+		covered = make([]int, g.NumVertices())
+		current rat.Rat
+		bound   rat.Rat // scratch for the optimistic bound
+		nodes   = 0
+		pruned  = 0
+		budget  = bnbNodeBudget
+		overrun = false
 	)
 	var dfs func(pos int)
 	dfs = func(pos int) {
-		if exhausted {
+		if overrun {
 			return
 		}
 		nodes++
-		if nodes > bnbNodeBudget {
-			exhausted = true
+		if nodes > budget {
+			overrun = true
 			return
 		}
 		if len(chosen) == k {
-			if current.Cmp(best) > 0 {
-				best.Set(current)
+			if !found || current.Cmp(&best) > 0 {
+				best.Set(&current)
 				bestIDs = append(bestIDs[:0], chosen...)
+				found = true
 			}
 			return
 		}
@@ -84,8 +102,14 @@ func maxLoadBranchBound(g *graph.Graph, k int, loads []*big.Rat) (*big.Rat, game
 			return // not enough edges left
 		}
 		// Optimistic bound: current + best possible remaining potentials.
-		bound := new(big.Rat).Add(current, topRemaining(pos, remainingSlots))
-		if bound.Cmp(best) <= 0 {
+		hi := pos + remainingSlots
+		if hi > m {
+			hi = m
+		}
+		bound.Sub(&prefix[hi], &prefix[pos])
+		bound.Add(&bound, &current)
+		if found && bound.Cmp(&best) <= 0 {
+			pruned++
 			return
 		}
 		// Branch 1: take order[pos].
@@ -96,10 +120,10 @@ func maxLoadBranchBound(g *graph.Graph, k int, loads []*big.Rat) (*big.Rat, game
 		covered[e.U]++
 		covered[e.V]++
 		if addedU {
-			current.Add(current, loads[e.U])
+			current.Add(&current, &rloads[e.U])
 		}
 		if addedV {
-			current.Add(current, loads[e.V])
+			current.Add(&current, &rloads[e.V])
 		}
 		chosen = append(chosen, id)
 		dfs(pos + 1)
@@ -107,21 +131,23 @@ func maxLoadBranchBound(g *graph.Graph, k int, loads []*big.Rat) (*big.Rat, game
 		covered[e.U]--
 		covered[e.V]--
 		if addedU {
-			current.Sub(current, loads[e.U])
+			current.Sub(&current, &rloads[e.U])
 		}
 		if addedV {
-			current.Sub(current, loads[e.V])
+			current.Sub(&current, &rloads[e.V])
 		}
 		// Branch 2: skip order[pos].
 		dfs(pos + 1)
 	}
 	dfs(0)
-	if exhausted || best.Sign() < 0 {
+	obsBnBExpanded.Add(uint64(nodes))
+	obsBnBPruned.Add(uint64(pruned))
+	if overrun || !found {
 		return nil, game.Tuple{}, false
 	}
 	t, err := game.NewTupleFromIDs(g, bestIDs)
 	if err != nil {
 		return nil, game.Tuple{}, false
 	}
-	return best, t, true
+	return best.Big(), t, true
 }

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"math/big"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/obs"
 )
 
 // Property: branch and bound agrees with exhaustive enumeration on random
@@ -102,9 +104,58 @@ func TestVerifyNEUsesBranchBound(t *testing.T) {
 	if err != nil {
 		t.Fatalf("MaxTupleLoad: %v", err)
 	}
-	// Two edges can cover all three loaded vertices: (0,1) and (1,2)...
-	// wait, those cover {0,1,2} exactly: total 1.
+	// Edges (0,1) and (1,2) cover {0,1,2} exactly: total load 1.
 	if value.Cmp(big.NewRat(1, 1)) != 0 {
 		t.Errorf("value = %v, want 1", value)
+	}
+}
+
+// TestBranchBoundBudgetTrips pins the budget contract: when the node
+// budget is exhausted MaxTupleLoad surfaces ErrCannotVerify (never an
+// inexact value), and the core.bnb.* counters account for the work done.
+func TestBranchBoundBudgetTrips(t *testing.T) {
+	g, k, loads := bnbInstance(t)
+
+	reg := obs.Default()
+	wasEnabled := reg.Enabled()
+	reg.SetEnabled(true)
+	defer reg.SetEnabled(wasEnabled)
+
+	// Full budget: the search completes and both counters advance.
+	before := reg.Snapshot().Counters
+	value, witness, err := MaxTupleLoad(g, k, loads)
+	if err != nil {
+		t.Fatalf("MaxTupleLoad with full budget: %v", err)
+	}
+	if tupleLoadOf(g, loads, witness).Cmp(value) != 0 {
+		t.Error("witness does not attain the value")
+	}
+	after := reg.Snapshot().Counters
+	expanded := after["core.bnb.nodes_expanded"] - before["core.bnb.nodes_expanded"]
+	prunedDelta := after["core.bnb.nodes_pruned"] - before["core.bnb.nodes_pruned"]
+	if expanded == 0 {
+		t.Error("core.bnb.nodes_expanded did not advance on a completed search")
+	}
+	if expanded > BnBNodeBudget {
+		t.Errorf("expanded %d nodes, budget is %d", expanded, BnBNodeBudget)
+	}
+	if prunedDelta == 0 {
+		t.Error("core.bnb.nodes_pruned did not advance; instance too easy to exercise pruning")
+	}
+
+	// Starved budget: the same instance must trip to ErrCannotVerify.
+	const tiny = 50
+	old := bnbNodeBudget
+	bnbNodeBudget = tiny
+	defer func() { bnbNodeBudget = old }()
+
+	before = reg.Snapshot().Counters
+	if _, _, err := MaxTupleLoad(g, k, loads); !errors.Is(err, ErrCannotVerify) {
+		t.Fatalf("starved MaxTupleLoad: err = %v, want ErrCannotVerify", err)
+	}
+	after = reg.Snapshot().Counters
+	expanded = after["core.bnb.nodes_expanded"] - before["core.bnb.nodes_expanded"]
+	if expanded == 0 || expanded > tiny+1 {
+		t.Errorf("starved nodes_expanded delta = %d, want 1..%d", expanded, tiny+1)
 	}
 }

@@ -78,5 +78,15 @@ func gcd(a, b int) int {
 	return a
 }
 
-// lcm returns the least common multiple of two positive integers.
-func lcm(a, b int) int { return a / gcd(a, b) * b }
+// lcm returns the least common multiple of two positive integers, or an
+// error if the product a/gcd(a,b)·b overflows int. The quotient check is
+// sound because both factors are positive, so the only failure mode is
+// magnitude overflow, never sign wrap.
+func lcm(a, b int) (int, error) {
+	q := a / gcd(a, b)
+	l := q * b
+	if l/b != q {
+		return 0, fmt.Errorf("core: lcm(%d, %d) overflows int", a, b)
+	}
+	return l, nil
+}

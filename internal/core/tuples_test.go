@@ -23,9 +23,27 @@ func TestGCDAndLCM(t *testing.T) {
 		if got := gcd(tt.a, tt.b); got != tt.gcd {
 			t.Errorf("gcd(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.gcd)
 		}
-		if got := lcm(tt.a, tt.b); got != tt.lcm {
+		got, err := lcm(tt.a, tt.b)
+		if err != nil {
+			t.Errorf("lcm(%d,%d): %v", tt.a, tt.b, err)
+		} else if got != tt.lcm {
 			t.Errorf("lcm(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.lcm)
 		}
+	}
+}
+
+func TestLCMOverflow(t *testing.T) {
+	// Two coprime values near 2^32 whose product exceeds MaxInt: the old
+	// unchecked a/gcd*b silently wrapped here.
+	const a, b = 1<<32 - 1, 1<<32 + 1
+	if v, err := lcm(a, b); err == nil {
+		t.Fatalf("lcm(%d, %d) = %d, want overflow error", a, b, v)
+	}
+	// Non-coprime operands stay in range even when a*b would overflow.
+	const big = 1 << 40
+	v, err := lcm(big, big)
+	if err != nil || v != big {
+		t.Fatalf("lcm(%d, %d) = %d, %v; want %d", big, big, v, err, big)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"github.com/defender-game/defender/internal/game"
 	"github.com/defender-game/defender/internal/graph"
 	"github.com/defender-game/defender/internal/matching"
+	"github.com/defender-game/defender/internal/rat"
 )
 
 // Sentinel errors of the verifier.
@@ -307,21 +308,24 @@ func maxLoadUniform(g *graph.Graph, k int, c *big.Rat) (*big.Rat, game.Tuple, er
 }
 
 // maxLoadExhaustive handles case 3: enumerate every k-subset of edges.
+// The inner loop runs on internal/rat so the C(m, k) iterations stay
+// allocation-free for word-sized loads.
 func maxLoadExhaustive(g *graph.Graph, k int, loads []*big.Rat) (*big.Rat, game.Tuple, error) {
 	m := g.NumEdges()
-	best := new(big.Rat)
+	rloads := rat.FromBig(loads)
+	var best rat.Rat
 	bestIDs := make([]int, 0, k)
 	first := true
 
 	idx := make([]int, k)
-	covered := make(map[int]int, 2*k) // vertex -> multiplicity in current selection
-	current := new(big.Rat)
+	covered := make([]int, g.NumVertices()) // vertex -> multiplicity in current selection
+	var current rat.Rat
 
 	var recurse func(pos, next int)
 	recurse = func(pos, next int) {
 		if pos == k {
-			if first || current.Cmp(best) > 0 {
-				best.Set(current)
+			if first || current.Cmp(&best) > 0 {
+				best.Set(&current)
 				bestIDs = append(bestIDs[:0], idx...)
 				first = false
 			}
@@ -335,19 +339,19 @@ func maxLoadExhaustive(g *graph.Graph, k int, loads []*big.Rat) (*big.Rat, game.
 			covered[e.U]++
 			covered[e.V]++
 			if addedU {
-				current.Add(current, loads[e.U])
+				current.Add(&current, &rloads[e.U])
 			}
 			if addedV {
-				current.Add(current, loads[e.V])
+				current.Add(&current, &rloads[e.V])
 			}
 			recurse(pos+1, id+1)
 			covered[e.U]--
 			covered[e.V]--
 			if addedU {
-				current.Sub(current, loads[e.U])
+				current.Sub(&current, &rloads[e.U])
 			}
 			if addedV {
-				current.Sub(current, loads[e.V])
+				current.Sub(&current, &rloads[e.V])
 			}
 		}
 	}
@@ -356,7 +360,7 @@ func maxLoadExhaustive(g *graph.Graph, k int, loads []*big.Rat) (*big.Rat, game.
 	if err != nil {
 		return nil, game.Tuple{}, err
 	}
-	return best, t, nil
+	return best.Big(), t, nil
 }
 
 // tupleLoadOf computes m(t) for a tuple against explicit loads.

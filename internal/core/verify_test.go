@@ -11,7 +11,7 @@ import (
 	"github.com/defender-game/defender/internal/graph"
 )
 
-func rat(a, b int64) *big.Rat { return big.NewRat(a, b) }
+func ratOf(a, b int64) *big.Rat { return big.NewRat(a, b) }
 
 func zeroLoads(n int) []*big.Rat {
 	loads := make([]*big.Rat, n)
@@ -25,18 +25,18 @@ func TestMaxTupleLoadIndependentCase(t *testing.T) {
 	// Star K_{1,4}: loads on the (independent) leaves.
 	g := graph.Star(5)
 	loads := zeroLoads(5)
-	loads[1] = rat(5, 1)
-	loads[2] = rat(3, 1)
-	loads[3] = rat(1, 1)
+	loads[1] = ratOf(5, 1)
+	loads[2] = ratOf(3, 1)
+	loads[3] = ratOf(1, 1)
 
 	tests := []struct {
 		k    int
 		want *big.Rat
 	}{
-		{1, rat(5, 1)},
-		{2, rat(8, 1)},
-		{3, rat(9, 1)},
-		{4, rat(9, 1)}, // padding beyond the loaded vertices adds nothing
+		{1, ratOf(5, 1)},
+		{2, ratOf(8, 1)},
+		{3, ratOf(9, 1)},
+		{4, ratOf(9, 1)}, // padding beyond the loaded vertices adds nothing
 	}
 	for _, tt := range tests {
 		got, witness, err := MaxTupleLoad(g, tt.k, loads)
@@ -60,17 +60,17 @@ func TestMaxTupleLoadUniformCase(t *testing.T) {
 	g := graph.Cycle(6)
 	loads := make([]*big.Rat, 6)
 	for i := range loads {
-		loads[i] = rat(1, 1)
+		loads[i] = ratOf(1, 1)
 	}
 	tests := []struct {
 		k    int
 		want *big.Rat
 	}{
-		{1, rat(2, 1)},
-		{2, rat(4, 1)},
-		{3, rat(6, 1)},
-		{4, rat(6, 1)},
-		{6, rat(6, 1)},
+		{1, ratOf(2, 1)},
+		{2, ratOf(4, 1)},
+		{3, ratOf(6, 1)},
+		{4, ratOf(6, 1)},
+		{6, ratOf(6, 1)},
 	}
 	for _, tt := range tests {
 		got, witness, err := MaxTupleLoad(g, tt.k, loads)
@@ -91,10 +91,10 @@ func TestMaxTupleLoadUniformStar(t *testing.T) {
 	g := graph.Star(6)
 	loads := make([]*big.Rat, 6)
 	for i := range loads {
-		loads[i] = rat(1, 2)
+		loads[i] = ratOf(1, 2)
 	}
 	for k := 1; k <= 5; k++ {
-		want := new(big.Rat).Mul(rat(1, 2), rat(int64(min(6, k+1)), 1))
+		want := new(big.Rat).Mul(ratOf(1, 2), ratOf(int64(min(6, k+1)), 1))
 		got, _, err := MaxTupleLoad(g, k, loads)
 		if err != nil {
 			t.Fatalf("k=%d: %v", k, err)
@@ -114,7 +114,7 @@ func TestMaxTupleLoadErrors(t *testing.T) {
 		t.Error("k>m must fail")
 	}
 	loads := zeroLoads(3)
-	loads[1] = rat(-1, 1)
+	loads[1] = ratOf(-1, 1)
 	if _, _, err := MaxTupleLoad(g, 1, loads); err == nil {
 		t.Error("negative load must fail")
 	}

@@ -1,0 +1,97 @@
+package game
+
+import (
+	"testing"
+
+	"github.com/defender-game/defender/internal/graph"
+)
+
+// Load-computation micro-benchmarks for `make bench-kernel`:
+// VertexLoads/HitProbabilities/TupleLoad are called once per verifier
+// invocation and once per best-response round in the dynamics, so their
+// constant factor multiplies across every experiment table.
+
+// benchProfile builds a Π_k(K_12) instance with 8 attackers on uniform
+// supports and a uniform defender over the cyclic k-tuples.
+func benchProfile(tb testing.TB) (*Game, MixedProfile) {
+	tb.Helper()
+	g := graph.Complete(12)
+	const nu, k = 8, 5
+	gm, err := New(g, nu, k)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	support := make([]int, g.NumVertices())
+	for v := range support {
+		support[v] = v
+	}
+	vp := UniformVertexStrategy(support)
+
+	// 22 distinct tuples: sliding windows of k over the edge list.
+	tuples := make([]Tuple, 0, 22)
+	for w := 0; w < 22; w++ {
+		ids := make([]int, k)
+		for j := range ids {
+			ids[j] = (w*3 + j) % g.NumEdges()
+		}
+		t, err := NewTupleFromIDs(g, ids)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tuples = append(tuples, t)
+	}
+	tp, err := UniformTupleStrategy(tuples)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return gm, NewSymmetricProfile(nu, vp, tp)
+}
+
+func BenchmarkVertexLoads(b *testing.B) {
+	gm, mp := benchProfile(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loads := gm.VertexLoads(mp)
+		if loads[0].Sign() <= 0 {
+			b.Fatal("expected positive load")
+		}
+	}
+}
+
+func BenchmarkHitProbabilities(b *testing.B) {
+	gm, mp := benchProfile(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hit := gm.HitProbabilities(mp)
+		if hit[0].Sign() < 0 {
+			b.Fatal("negative hit probability")
+		}
+	}
+}
+
+func BenchmarkTupleLoad(b *testing.B) {
+	gm, mp := benchProfile(b)
+	loads := gm.VertexLoads(mp)
+	tuples := mp.TP.Support()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := gm.TupleLoad(loads, tuples[i%len(tuples)])
+		if l.Sign() <= 0 {
+			b.Fatal("expected positive tuple load")
+		}
+	}
+}
+
+func BenchmarkExpectedProfitTP(b *testing.B) {
+	gm, mp := benchProfile(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if gm.ExpectedProfitTP(mp).Sign() <= 0 {
+			b.Fatal("expected positive defender profit")
+		}
+	}
+}

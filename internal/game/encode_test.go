@@ -20,12 +20,12 @@ func buildRoundTripProfile(t *testing.T, g *graph.Graph, nu, k int) (*Game, Mixe
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts, err := NewTupleStrategy([]Tuple{t1, t2}, []*big.Rat{rat(1, 3), rat(2, 3)})
+	ts, err := NewTupleStrategy([]Tuple{t1, t2}, []*big.Rat{ratOf(1, 3), ratOf(2, 3)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	vp1 := NewVertexStrategy(map[int]*big.Rat{0: rat(1, 2), 2: rat(1, 2)})
-	vp2 := NewVertexStrategy(map[int]*big.Rat{1: rat(1, 4), 3: rat(3, 4)})
+	vp1 := NewVertexStrategy(map[int]*big.Rat{0: ratOf(1, 2), 2: ratOf(1, 2)})
+	vp2 := NewVertexStrategy(map[int]*big.Rat{1: ratOf(1, 4), 3: ratOf(3, 4)})
 	mp := MixedProfile{VP: []VertexStrategy{vp1, vp2}, TP: ts}
 	if err := gm.Validate(mp); err != nil {
 		t.Fatal(err)

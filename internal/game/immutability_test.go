@@ -16,7 +16,7 @@ func TestVertexStrategyProbIsDefensiveCopy(t *testing.T) {
 	p := s.Prob(1)
 	p.SetInt64(999) // a hostile caller scribbles on the returned rat
 
-	if got := s.Prob(1); got.Cmp(rat(1, 3)) != 0 {
+	if got := s.Prob(1); got.Cmp(ratOf(1, 3)) != 0 {
 		t.Fatalf("stored probability changed to %v after mutating Prob result", got)
 	}
 	if err := s.Validate(3); err != nil {
@@ -37,7 +37,7 @@ func TestTupleStrategyProbIsDefensiveCopy(t *testing.T) {
 	p := ts.Prob(t1)
 	p.Add(p, big.NewRat(5, 1))
 
-	if got := ts.Prob(t1); got.Cmp(rat(1, 2)) != 0 {
+	if got := ts.Prob(t1); got.Cmp(ratOf(1, 2)) != 0 {
 		t.Fatalf("stored tuple probability changed to %v after mutating Prob result", got)
 	}
 	if err := ts.Validate(g, 2); err != nil {
@@ -48,11 +48,11 @@ func TestTupleStrategyProbIsDefensiveCopy(t *testing.T) {
 // TestConstructorsCopyInputProbs: strategies must also be insulated from
 // later mutation of the rats the caller constructed them with.
 func TestConstructorsCopyInputProbs(t *testing.T) {
-	half := rat(1, 2)
-	s := NewVertexStrategy(map[int]*big.Rat{0: half, 1: rat(1, 2)})
+	half := ratOf(1, 2)
+	s := NewVertexStrategy(map[int]*big.Rat{0: half, 1: ratOf(1, 2)})
 	half.SetInt64(7) // caller reuses its rat afterwards
 
-	if got := s.Prob(0); got.Cmp(rat(1, 2)) != 0 {
+	if got := s.Prob(0); got.Cmp(ratOf(1, 2)) != 0 {
 		t.Fatalf("stored probability aliases constructor input: %v", got)
 	}
 	if err := s.Validate(2); err != nil {

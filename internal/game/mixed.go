@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/rat"
 )
 
 // ratOne is the constant 1 used by validation; never mutated.
@@ -17,6 +18,10 @@ var ratOne = big.NewRat(1, 1)
 type VertexStrategy struct {
 	support []int // sorted
 	prob    map[int]*big.Rat
+	// rprobs caches the support probabilities as small rationals, aligned
+	// with support, so the load accumulators run on the internal/rat fast
+	// path without touching the big.Rat map.
+	rprobs rat.Vec
 }
 
 // NewVertexStrategy builds a strategy from explicit vertex probabilities.
@@ -31,6 +36,10 @@ func NewVertexStrategy(probs map[int]*big.Rat) VertexStrategy {
 		s.support = append(s.support, v)
 	}
 	sort.Ints(s.support)
+	s.rprobs = rat.NewVec(len(s.support))
+	for i, v := range s.support {
+		s.rprobs[i].SetBig(s.prob[v])
+	}
 	return s
 }
 
@@ -39,10 +48,12 @@ func NewVertexStrategy(probs map[int]*big.Rat) VertexStrategy {
 func UniformVertexStrategy(support []int) VertexStrategy {
 	support = graph.NormalizeSet(support)
 	p := make(map[int]*big.Rat, len(support))
-	for _, v := range support {
+	rp := rat.NewVec(len(support))
+	for i, v := range support {
 		p[v] = big.NewRat(1, int64(len(support)))
+		rp[i].SetFrac64(1, int64(len(support)))
 	}
-	return VertexStrategy{support: support, prob: p}
+	return VertexStrategy{support: support, prob: p, rprobs: rp}
 }
 
 // Support returns D(vp): the sorted vertices with positive probability.
@@ -87,6 +98,9 @@ func (s VertexStrategy) Validate(n int) error {
 type TupleStrategy struct {
 	tuples []Tuple // sorted by Key for deterministic iteration
 	prob   map[string]*big.Rat
+	// rprobs caches the tuple probabilities as small rationals, aligned
+	// with tuples, feeding the hit-probability fast path.
+	rprobs rat.Vec
 }
 
 // NewTupleStrategy builds a strategy from tuples and matching
@@ -110,6 +124,10 @@ func NewTupleStrategy(tuples []Tuple, probs []*big.Rat) (TupleStrategy, error) {
 		s.tuples = append(s.tuples, t)
 	}
 	sort.Slice(s.tuples, func(i, j int) bool { return lessTuple(s.tuples[i], s.tuples[j]) })
+	s.rprobs = rat.NewVec(len(s.tuples))
+	for i, t := range s.tuples {
+		s.rprobs[i].SetBig(s.prob[t.Key()])
+	}
 	return s, nil
 }
 
@@ -237,13 +255,17 @@ func (mp MixedProfile) SupportUnionVP() []int {
 // VertexLoads returns m(v) for every vertex: the expected number of
 // attackers choosing v (Section 2).
 func (gm *Game) VertexLoads(mp MixedProfile) []*big.Rat {
-	loads := make([]*big.Rat, gm.g.NumVertices())
-	for i := range loads {
-		loads[i] = new(big.Rat)
-	}
+	return gm.vertexLoadsVec(mp).ToBig()
+}
+
+// vertexLoadsVec accumulates the loads on the small-rational fast path:
+// one vector allocation, no per-entry heap arithmetic while the values
+// fit int64 (they are sums of probabilities, so they almost always do).
+func (gm *Game) vertexLoadsVec(mp MixedProfile) rat.Vec {
+	loads := rat.NewVec(gm.g.NumVertices())
 	for _, s := range mp.VP {
-		for _, v := range s.support {
-			loads[v].Add(loads[v], s.prob[v])
+		for i, v := range s.support {
+			loads[v].Add(&loads[v], &s.rprobs[i])
 		}
 	}
 	return loads
@@ -252,14 +274,16 @@ func (gm *Game) VertexLoads(mp MixedProfile) []*big.Rat {
 // HitProbabilities returns P(Hit(v)) for every vertex: the probability that
 // the defender's tuple covers v.
 func (gm *Game) HitProbabilities(mp MixedProfile) []*big.Rat {
-	hit := make([]*big.Rat, gm.g.NumVertices())
-	for i := range hit {
-		hit[i] = new(big.Rat)
-	}
-	for _, t := range mp.TP.tuples {
-		p := mp.TP.prob[t.Key()]
+	return gm.hitVec(mp).ToBig()
+}
+
+// hitVec accumulates the hit probabilities on the fast path.
+func (gm *Game) hitVec(mp MixedProfile) rat.Vec {
+	hit := rat.NewVec(gm.g.NumVertices())
+	for i, t := range mp.TP.tuples {
+		p := &mp.TP.rprobs[i]
 		for _, v := range t.Vertices(gm.g) {
-			hit[v].Add(hit[v], p)
+			hit[v].Add(&hit[v], p)
 		}
 	}
 	return hit
@@ -267,11 +291,12 @@ func (gm *Game) HitProbabilities(mp MixedProfile) []*big.Rat {
 
 // TupleLoad returns m(t) = Σ_{v ∈ V(t)} m(v) given precomputed loads.
 func (gm *Game) TupleLoad(loads []*big.Rat, t Tuple) *big.Rat {
-	sum := new(big.Rat)
+	var sum, term rat.Rat
 	for _, v := range t.Vertices(gm.g) {
-		sum.Add(sum, loads[v])
+		term.SetBig(loads[v])
+		sum.Add(&sum, &term)
 	}
-	return sum
+	return sum.Big()
 }
 
 // ExpectedProfitVP evaluates equation (1): the expected profit of attacker
@@ -285,26 +310,31 @@ func (gm *Game) ExpectedProfitVP(mp MixedProfile, i int) *big.Rat {
 // players.
 func (gm *Game) expectedProfitVPWithHit(mp MixedProfile, i int, hit []*big.Rat) *big.Rat {
 	s := mp.VP[i]
-	sum := new(big.Rat)
-	term := new(big.Rat)
-	for _, v := range s.support {
-		term.Sub(ratOne, hit[v])
-		term.Mul(term, s.prob[v])
-		sum.Add(sum, term)
+	var one, sum, term, h rat.Rat
+	one.SetInt64(1)
+	for j, v := range s.support {
+		h.SetBig(hit[v])
+		term.Sub(&one, &h)
+		term.Mul(&term, &s.rprobs[j])
+		sum.Add(&sum, &term)
 	}
-	return sum
+	return sum.Big()
 }
 
 // ExpectedProfitTP evaluates equation (2): the defender's expected profit,
 // Σ_t P(t) · m(t).
 func (gm *Game) ExpectedProfitTP(mp MixedProfile) *big.Rat {
-	loads := gm.VertexLoads(mp)
-	sum := new(big.Rat)
-	for _, t := range mp.TP.tuples {
-		contrib := new(big.Rat).Mul(mp.TP.prob[t.Key()], gm.TupleLoad(loads, t))
-		sum.Add(sum, contrib)
+	loads := gm.vertexLoadsVec(mp)
+	var sum, tl, contrib rat.Rat
+	for i, t := range mp.TP.tuples {
+		tl.SetInt64(0)
+		for _, v := range t.Vertices(gm.g) {
+			tl.Add(&tl, &loads[v])
+		}
+		contrib.Mul(&mp.TP.rprobs[i], &tl)
+		sum.Add(&sum, &contrib)
 	}
-	return sum
+	return sum.Big()
 }
 
 // TuplesThrough returns Tuples(v): the support tuples covering vertex v.

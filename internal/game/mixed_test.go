@@ -10,14 +10,14 @@ import (
 	"github.com/defender-game/defender/internal/graph"
 )
 
-func rat(a, b int64) *big.Rat { return big.NewRat(a, b) }
+func ratOf(a, b int64) *big.Rat { return big.NewRat(a, b) }
 
 func TestUniformVertexStrategy(t *testing.T) {
 	s := UniformVertexStrategy([]int{3, 1, 3, 5})
 	if got := s.Support(); !graph.SetsEqual(got, []int{1, 3, 5}) {
 		t.Errorf("Support = %v", got)
 	}
-	if s.Prob(1).Cmp(rat(1, 3)) != 0 {
+	if s.Prob(1).Cmp(ratOf(1, 3)) != 0 {
 		t.Errorf("Prob(1) = %v, want 1/3", s.Prob(1))
 	}
 	if s.Prob(2).Sign() != 0 {
@@ -33,9 +33,9 @@ func TestUniformVertexStrategy(t *testing.T) {
 
 func TestNewVertexStrategyDropsZeros(t *testing.T) {
 	s := NewVertexStrategy(map[int]*big.Rat{
-		0: rat(1, 2),
+		0: ratOf(1, 2),
 		1: new(big.Rat), // zero dropped
-		2: rat(1, 2),
+		2: ratOf(1, 2),
 		3: nil, // nil dropped
 	})
 	if got := s.Support(); !graph.SetsEqual(got, []int{0, 2}) {
@@ -47,11 +47,11 @@ func TestNewVertexStrategyDropsZeros(t *testing.T) {
 }
 
 func TestVertexStrategyValidateSums(t *testing.T) {
-	s := NewVertexStrategy(map[int]*big.Rat{0: rat(1, 2), 1: rat(1, 3)})
+	s := NewVertexStrategy(map[int]*big.Rat{0: ratOf(1, 2), 1: ratOf(1, 3)})
 	if err := s.Validate(2); !errors.Is(err, ErrInvalidProfile) {
 		t.Errorf("5/6 total: err = %v", err)
 	}
-	neg := NewVertexStrategy(map[int]*big.Rat{0: rat(3, 2), 1: rat(-1, 2)})
+	neg := NewVertexStrategy(map[int]*big.Rat{0: ratOf(3, 2), 1: ratOf(-1, 2)})
 	if err := neg.Validate(2); !errors.Is(err, ErrInvalidProfile) {
 		t.Errorf("negative prob: err = %v", err)
 	}
@@ -68,7 +68,7 @@ func TestUniformTupleStrategy(t *testing.T) {
 	if ts.SupportSize() != 2 {
 		t.Errorf("SupportSize = %d", ts.SupportSize())
 	}
-	if ts.Prob(t1).Cmp(rat(1, 2)) != 0 {
+	if ts.Prob(t1).Cmp(ratOf(1, 2)) != 0 {
 		t.Errorf("Prob = %v", ts.Prob(t1))
 	}
 	other := mustTuple(t, g, g.EdgeByID(0), g.EdgeByID(1))
@@ -158,13 +158,13 @@ func TestVertexLoads(t *testing.T) {
 		},
 	}
 	loads := gm.VertexLoads(mp)
-	if loads[0].Cmp(rat(3, 2)) != 0 {
+	if loads[0].Cmp(ratOf(3, 2)) != 0 {
 		t.Errorf("m(0) = %v, want 3/2", loads[0])
 	}
 	if loads[1].Sign() != 0 {
 		t.Errorf("m(1) = %v, want 0", loads[1])
 	}
-	if loads[2].Cmp(rat(1, 2)) != 0 {
+	if loads[2].Cmp(ratOf(1, 2)) != 0 {
 		t.Errorf("m(2) = %v, want 1/2", loads[2])
 	}
 }
@@ -180,7 +180,7 @@ func TestHitProbabilitiesAndTuplesThrough(t *testing.T) {
 	}
 	mp := NewSymmetricProfile(1, UniformVertexStrategy([]int{0}), ts)
 	hit := gm.HitProbabilities(mp)
-	wantHits := []*big.Rat{rat(1, 2), rat(1, 2), rat(1, 2), rat(1, 2)}
+	wantHits := []*big.Rat{ratOf(1, 2), ratOf(1, 2), ratOf(1, 2), ratOf(1, 2)}
 	for v, want := range wantHits {
 		if hit[v].Cmp(want) != 0 {
 			t.Errorf("Hit(%d) = %v, want %v", v, hit[v], want)
@@ -207,12 +207,12 @@ func TestExpectedProfits(t *testing.T) {
 
 	// Each attacker: hit prob 1/2 on either support vertex -> profit 1/2.
 	for i := 0; i < 2; i++ {
-		if got := gm.ExpectedProfitVP(mp, i); got.Cmp(rat(1, 2)) != 0 {
+		if got := gm.ExpectedProfitVP(mp, i); got.Cmp(ratOf(1, 2)) != 0 {
 			t.Errorf("IP_%d = %v, want 1/2", i, got)
 		}
 	}
 	// Defender: each tuple covers one loaded vertex with load 1 -> IP = 1.
-	if got := gm.ExpectedProfitTP(mp); got.Cmp(rat(1, 1)) != 0 {
+	if got := gm.ExpectedProfitTP(mp); got.Cmp(ratOf(1, 1)) != 0 {
 		t.Errorf("IP_tp = %v, want 1", got)
 	}
 }

@@ -1,16 +1,20 @@
 // Package lp implements an exact linear-programming solver over rationals
-// (math/big.Rat) and, on top of it, a solver for two-player zero-sum matrix
-// games. The library uses it as an *independent oracle* for equilibrium
-// values: for ν = 1 attacker the Tuple model is a constant-sum game, so
-// every Nash equilibrium attains the same minimax value — which the LP
-// computes from the payoff matrix alone, with no knowledge of matching
-// structure. The experiments cross-check k/|EC| against this oracle.
+// and, on top of it, a solver for two-player zero-sum matrix games. The
+// library uses it as an *independent oracle* for equilibrium values: for
+// ν = 1 attacker the Tuple model is a constant-sum game, so every Nash
+// equilibrium attains the same minimax value — which the LP computes from
+// the payoff matrix alone, with no knowledge of matching structure. The
+// experiments cross-check k/|EC| against this oracle.
 //
 // The solver is a dense tableau simplex with Bland's anti-cycling rule
 // (guaranteeing termination) and a single-artificial-variable phase one,
-// exact at every pivot — no floating point anywhere. It is meant for the
-// small, structured programs arising from games — hundreds of rows and
-// columns — not for industrial LPs.
+// exact at every pivot — no floating point anywhere. The public surface
+// speaks *big.Rat, but the tableau itself runs on the internal/rat
+// small-rational kernel: cells are int64 fractions that promote to
+// big.Rat only on overflow, and the pivot loops reuse per-tableau scratch
+// values instead of allocating per cell (see DESIGN.md "Exact arithmetic
+// fast path"). It is meant for the small, structured programs arising
+// from games — hundreds of rows and columns — not for industrial LPs.
 package lp
 
 import (
@@ -19,12 +23,13 @@ import (
 	"math/big"
 
 	"github.com/defender-game/defender/internal/obs"
+	"github.com/defender-game/defender/internal/rat"
 )
 
 // Simplex iteration metrics (catalogued in OBSERVABILITY.md): total solves
 // and Gauss–Jordan pivots across both phases, plus the per-solve pivot
 // distribution. Pivot counts are the honest cost unit of the exact solver
-// (each pivot is a full tableau sweep of big.Rat arithmetic), so a p99
+// (each pivot is a full tableau sweep of rational arithmetic), so a p99
 // blowup here — not wall time — is the first sign of a degenerate program.
 var (
 	obsSimplexSolves         = obs.Default().Counter("lp.simplex.solves")
@@ -135,14 +140,21 @@ func Minimize(c []*big.Rat, a [][]*big.Rat, b []*big.Rat) (Solution, error) {
 // Column n+m is the single artificial variable used by phase one; it is
 // never allowed to re-enter during phase two (its reduced cost is kept
 // positive). basis[i] is the variable index basic in row i.
+//
+// Cells are internal/rat small rationals: pivots run allocation-free on
+// int64 fractions while every entry fits, and any cell that overflows
+// promotes to big.Rat transparently without losing exactness.
 type tableau struct {
 	n, m  int
-	cells [][]*big.Rat // (m+1) x (n+m+2)
+	cells []rat.Vec
 	basis []int
-	objC  []*big.Rat // original objective, used to rebuild after phase one
+	objC  rat.Vec // original objective, used to rebuild after phase one
 	// pivots counts Gauss–Jordan pivots across both phases, feeding the
 	// lp.simplex.* metrics.
 	pivots int
+	// Scratch values reused across every pivot and ratio test so the hot
+	// loops perform zero allocations on the small-rational path.
+	factor, prod, inv, ratio, best rat.Rat
 }
 
 func (t *tableau) width() int { return t.n + t.m + 2 }
@@ -151,34 +163,30 @@ func (t *tableau) rhs() int   { return t.n + t.m + 1 }
 
 func newTableau(c []*big.Rat, a [][]*big.Rat, b []*big.Rat) (*tableau, error) {
 	n, m := len(c), len(a)
-	t := &tableau{n: n, m: m, basis: make([]int, m), objC: make([]*big.Rat, n)}
+	t := &tableau{n: n, m: m, basis: make([]int, m), objC: rat.NewVec(n)}
 	for j, cj := range c {
 		if cj == nil {
 			return nil, fmt.Errorf("%w: nil objective coefficient %d", ErrBadProgram, j)
 		}
-		t.objC[j] = new(big.Rat).Set(cj)
+		t.objC[j].SetBig(cj)
 	}
-	t.cells = make([][]*big.Rat, m+1)
+	t.cells = make([]rat.Vec, m+1)
 	for i := 0; i <= m; i++ {
-		row := make([]*big.Rat, t.width())
-		for j := range row {
-			row[j] = new(big.Rat)
-		}
-		t.cells[i] = row
+		t.cells[i] = rat.NewVec(t.width())
 	}
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
 			if a[i][j] == nil {
 				return nil, fmt.Errorf("%w: nil coefficient at (%d,%d)", ErrBadProgram, i, j)
 			}
-			t.cells[i][j].Set(a[i][j])
+			t.cells[i][j].SetBig(a[i][j])
 		}
 		t.cells[i][n+i].SetInt64(1)      // slack
 		t.cells[i][t.art()].SetInt64(-1) // artificial column
 		if b[i] == nil {
 			return nil, fmt.Errorf("%w: nil bound %d", ErrBadProgram, i)
 		}
-		t.cells[i][t.rhs()].Set(b[i])
+		t.cells[i][t.rhs()].SetBig(b[i])
 		t.basis[i] = n + i
 	}
 	t.loadObjective()
@@ -191,11 +199,9 @@ func newTableau(c []*big.Rat, a [][]*big.Rat, b []*big.Rat) (*tableau, error) {
 // reduced cost so phase two never re-admits it.
 func (t *tableau) loadObjective() {
 	obj := t.cells[t.m]
-	for j := range obj {
-		obj[j].SetInt64(0)
-	}
+	obj.Zero()
 	for j := 0; j < t.n; j++ {
-		obj[j].Neg(t.objC[j])
+		obj[j].Neg(&t.objC[j])
 	}
 	obj[t.art()].SetInt64(1)
 	t.priceOutBasis()
@@ -204,9 +210,7 @@ func (t *tableau) loadObjective() {
 // loadPhaseOneObjective sets the objective to "maximize −a0".
 func (t *tableau) loadPhaseOneObjective() {
 	obj := t.cells[t.m]
-	for j := range obj {
-		obj[j].SetInt64(0)
-	}
+	obj.Zero()
 	obj[t.art()].SetInt64(1)
 	t.priceOutBasis()
 }
@@ -220,12 +224,12 @@ func (t *tableau) priceOutBasis() {
 		if obj[bj].Sign() == 0 {
 			continue
 		}
-		factor := new(big.Rat).Set(obj[bj])
+		t.factor.Set(&obj[bj])
 		row := t.cells[i]
 		for j := range obj {
 			if row[j].Sign() != 0 {
-				prod := new(big.Rat).Mul(factor, row[j])
-				obj[j].Sub(obj[j], prod)
+				t.prod.Mul(&t.factor, &row[j])
+				obj[j].Sub(&obj[j], &t.prod)
 			}
 		}
 	}
@@ -249,7 +253,7 @@ func (t *tableau) phaseOne() Status {
 	// Most negative rhs row.
 	worst := 0
 	for i := 1; i < t.m; i++ {
-		if t.cells[i][t.rhs()].Cmp(t.cells[worst][t.rhs()]) < 0 {
+		if t.cells[i][t.rhs()].Cmp(&t.cells[worst][t.rhs()]) < 0 {
 			worst = i
 		}
 	}
@@ -301,18 +305,19 @@ func (t *tableau) optimize() Status {
 		}
 		// Leaving variable: minimum ratio, ties by lowest basis index.
 		pr := -1
-		var best *big.Rat
 		for i := 0; i < t.m; i++ {
 			if t.cells[i][pc].Sign() <= 0 {
 				continue
 			}
-			ratio := new(big.Rat).Quo(t.cells[i][t.rhs()], t.cells[i][pc])
+			t.ratio.Quo(&t.cells[i][t.rhs()], &t.cells[i][pc])
 			if pr == -1 {
-				pr, best = i, ratio
+				pr = i
+				t.best.Set(&t.ratio)
 				continue
 			}
-			if c := ratio.Cmp(best); c < 0 || (c == 0 && t.basis[i] < t.basis[pr]) {
-				pr, best = i, ratio
+			if c := t.ratio.Cmp(&t.best); c < 0 || (c == 0 && t.basis[i] < t.basis[pr]) {
+				pr = i
+				t.best.Set(&t.ratio)
 			}
 		}
 		if pr == -1 {
@@ -323,14 +328,16 @@ func (t *tableau) optimize() Status {
 }
 
 // pivot performs a Gauss–Jordan pivot on (pr, pc) and updates the basis.
+// The sweep is in place over the rat cells with reused scratch values —
+// no per-cell allocation while the tableau stays in int64 range.
 func (t *tableau) pivot(pr, pc int) {
 	t.pivots++
 	obsSimplexPivots.Inc()
 	prow := t.cells[pr]
-	inv := new(big.Rat).Inv(prow[pc])
+	t.inv.Inv(&prow[pc])
 	for j := range prow {
 		if prow[j].Sign() != 0 {
-			prow[j].Mul(prow[j], inv)
+			prow[j].Mul(&prow[j], &t.inv)
 		}
 	}
 	for i := 0; i <= t.m; i++ {
@@ -341,11 +348,11 @@ func (t *tableau) pivot(pr, pc int) {
 		if row[pc].Sign() == 0 {
 			continue
 		}
-		f := new(big.Rat).Set(row[pc])
+		t.factor.Set(&row[pc])
 		for j := range row {
 			if prow[j].Sign() != 0 {
-				prod := new(big.Rat).Mul(f, prow[j])
-				row[j].Sub(row[j], prod)
+				t.prod.Mul(&t.factor, &prow[j])
+				row[j].Sub(&row[j], &t.prod)
 			}
 		}
 	}
@@ -354,25 +361,22 @@ func (t *tableau) pivot(pr, pc int) {
 
 // extract reads the optimal solution, objective value and duals.
 func (t *tableau) extract() Solution {
-	x := make([]*big.Rat, t.n)
-	for j := range x {
-		x[j] = new(big.Rat)
-	}
+	x := rat.NewVec(t.n)
 	for i, bj := range t.basis {
 		if bj < t.n {
-			x[bj].Set(t.cells[i][t.rhs()])
+			x[bj].Set(&t.cells[i][t.rhs()])
 		}
 	}
-	value := new(big.Rat)
+	var value, prod rat.Rat
 	for j := 0; j < t.n; j++ {
-		prod := new(big.Rat).Mul(t.objC[j], x[j])
-		value.Add(value, prod)
+		prod.Mul(&t.objC[j], &x[j])
+		value.Add(&value, &prod)
 	}
 	// Duals: reduced costs of the slack columns at optimum.
 	dual := make([]*big.Rat, t.m)
 	obj := t.cells[t.m]
 	for i := 0; i < t.m; i++ {
-		dual[i] = new(big.Rat).Set(obj[t.n+i])
+		dual[i] = obj[t.n+i].Big()
 	}
-	return Solution{Status: Optimal, Value: value, X: x, Dual: dual}
+	return Solution{Status: Optimal, Value: value.Big(), X: x.ToBig(), Dual: dual}
 }

@@ -1,0 +1,94 @@
+package rat
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// FuzzRatVsBigRat is the differential fuzzer of the exact-arithmetic
+// kernel: every op sequence is replayed against math/big.Rat as the
+// oracle and the values must agree exactly at each step, the small-form
+// invariant (den >= 1, reduced) must hold, and Cmp must match the oracle
+// in both directions. The two-step chain deliberately feeds results —
+// including promoted ones — back in as operands, so overflow-promotion,
+// big/small mixed arithmetic, and demotion are all exercised from raw
+// int64 corners (the seed corpus pins MinInt64/MaxInt64 edges).
+func FuzzRatVsBigRat(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(3), int64(4), uint8(0))
+	f.Add(int64(math.MaxInt64), int64(1), int64(1), int64(1), uint8(0))
+	f.Add(int64(math.MinInt64), int64(1), int64(-1), int64(1), uint8(2))
+	f.Add(int64(1), int64(math.MinInt64), int64(1), int64(3), uint8(1))
+	f.Add(int64(math.MaxInt64), int64(math.MaxInt64-1), int64(math.MaxInt64-1), int64(math.MaxInt64-2), uint8(4))
+	f.Add(int64((1<<32)-1), int64((1<<32)+1), int64((1<<31)+7), int64((1<<31)-9), uint8(3))
+
+	f.Fuzz(func(t *testing.T, an, ad, bn, bd int64, ops uint8) {
+		if ad == 0 || bd == 0 {
+			t.Skip("zero denominator")
+		}
+		var x, y Rat
+		x.SetFrac64(an, ad)
+		y.SetFrac64(bn, bd)
+		ox := new(big.Rat).SetFrac(big.NewInt(an), big.NewInt(ad))
+		oy := new(big.Rat).SetFrac(big.NewInt(bn), big.NewInt(bd))
+		agree(t, "seed x", &x, ox)
+		agree(t, "seed y", &y, oy)
+
+		// Two chained ops drawn from the op byte; the first result becomes
+		// the left operand of the second.
+		for step := 0; step < 2; step++ {
+			op := (ops >> (4 * step)) & 0x0f
+			var z Rat
+			oz := new(big.Rat)
+			switch op % 5 {
+			case 0:
+				z.Add(&x, &y)
+				oz.Add(ox, oy)
+			case 1:
+				z.Sub(&x, &y)
+				oz.Sub(ox, oy)
+			case 2:
+				z.Mul(&x, &y)
+				oz.Mul(ox, oy)
+			case 3:
+				if y.Sign() == 0 {
+					t.Skip("division by zero")
+				}
+				z.Quo(&x, &y)
+				oz.Quo(ox, oy)
+			case 4:
+				z.Neg(&x)
+				oz.Neg(ox)
+			}
+			agree(t, "result", &z, oz)
+			if got, want := x.Cmp(&y), ox.Cmp(oy); got != want {
+				t.Fatalf("Cmp = %d, oracle %d (x=%v y=%v)", got, want, x.String(), y.String())
+			}
+			if got, want := y.Cmp(&x), oy.Cmp(ox); got != want {
+				t.Fatalf("reverse Cmp = %d, oracle %d", got, want)
+			}
+			x.Set(&z)
+			ox.Set(oz)
+		}
+	})
+}
+
+// agree asserts the kernel value matches the oracle exactly and is
+// normalized when small.
+func agree(t *testing.T, ctx string, x *Rat, oracle *big.Rat) {
+	t.Helper()
+	if x.Big().Cmp(oracle) != 0 {
+		t.Fatalf("%s: rat %v != big.Rat %v", ctx, x.String(), oracle.RatString())
+	}
+	if !x.isBig() {
+		n, d := x.parts()
+		if d < 1 {
+			t.Fatalf("%s: denominator %d < 1", ctx, d)
+		}
+		if g := gcd64(n, d); g != 1 {
+			t.Fatalf("%s: %d/%d not reduced", ctx, n, d)
+		}
+	} else if oracle.Num().IsInt64() && oracle.Denom().IsInt64() {
+		t.Fatalf("%s: %v fits int64 but is promoted (missed demotion)", ctx, x.String())
+	}
+}
