@@ -22,9 +22,12 @@ vet:
 	$(GO) vet ./...
 
 # lint = go vet + the project's own invariant analyzers (see
-# internal/analyzers and README "Static analysis & invariants").
+# internal/analyzers and DESIGN.md "Static analysis & invariants"). Test
+# files are included, and the run leaves a SARIF report behind — locally for
+# inspection, in CI as an uploaded artifact. Findings print to stderr via
+# the per-analyzer summary; the full report lives in defenderlint.sarif.
 lint: vet
-	$(GO) run ./cmd/defenderlint ./...
+	$(GO) run ./cmd/defenderlint -include-tests -format=sarif -o defenderlint.sarif ./...
 
 race:
 	$(GO) test -race ./...

@@ -93,6 +93,7 @@ func run(args []string) error {
 	}
 	if *metrics {
 		defer func() {
+			// lint:invariant(errlost): exit-time metrics dump to stderr; nothing can act on a failure here
 			_ = reg.Snapshot().WriteJSON(os.Stderr)
 		}()
 	}

@@ -1,22 +1,42 @@
-// Command defenderlint runs the project's invariant analyzers (ratalias,
-// floateq, globalrand, nakedpanic) over packages of this module — a
-// multichecker in the style of golang.org/x/tools/go/analysis/multichecker,
-// built on the dependency-free framework in internal/analyzers/analysis.
+// Command defenderlint runs the project's nine invariant analyzers (plus
+// the suppression auditor) over packages of this module — a multichecker in
+// the style of golang.org/x/tools/go/analysis/multichecker, built on the
+// dependency-free whole-module engine in internal/analyzers/analysis.
 //
 // Usage:
 //
-//	go run ./cmd/defenderlint [-only names] [-list] [patterns]
+//	go run ./cmd/defenderlint [flags] [patterns]
+//
+//	-only names     report only these analyzers (comma-separated)
+//	-skip names     report all but these analyzers
+//	-format kind    output format: text (default), json, or sarif
+//	-o file         write the report to file instead of stdout
+//	-include-tests  also analyze _test.go files
+//	-list           list registered analyzers and exit
 //
 // Patterns are package directories or the recursive pattern "./...". With
-// no pattern, "./..." is assumed. The exit status is 0 when the tree is
-// clean, 1 when diagnostics were reported, and 2 on a driver error.
+// no pattern, "./..." is assumed.
+//
+// Every analyzer always runs: -only and -skip filter what is *reported*,
+// not what executes. Filtering at the report stage keeps two properties the
+// cheap alternative would lose — type-checking dominates the cost anyway,
+// and suppression staleness stays truthful (a lint:invariant(floateq)
+// comment is not "stale" merely because a -only=errlost run ignored
+// floateq). The auditor participates under the name "suppression", so a CI
+// stale-suppression gate is just `-only suppression`.
+//
+// The exit status is 0 when the tree is clean, 1 when diagnostics were
+// reported, and 2 on a driver error (bad flags, unknown analyzer names,
+// load or type-check failure).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"github.com/defender-game/defender/internal/analyzers"
@@ -27,10 +47,14 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("defenderlint", flag.ContinueOnError)
 	flags.SetOutput(stderr)
-	only := flags.String("only", "", "comma-separated analyzer names to run (default: all)")
+	only := flags.String("only", "", "comma-separated analyzer names to report (default: all)")
+	skip := flags.String("skip", "", "comma-separated analyzer names to suppress from the report")
+	format := flags.String("format", "text", "output format: text, json, or sarif")
+	outFile := flags.String("o", "", "write the report to this file instead of stdout")
+	includeTests := flags.Bool("include-tests", false, "also analyze _test.go files")
 	list := flags.Bool("list", false, "list registered analyzers and exit")
 	if err := flags.Parse(args); err != nil {
 		return 2
@@ -41,58 +65,182 @@ func run(args []string, stdout, stderr *os.File) int {
 		for _, a := range suite {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, firstLine(a.Doc))
 		}
+		fmt.Fprintf(stdout, "%-12s %s\n", analysis.AuditorName, analysis.AuditorDoc)
 		return 0
 	}
-	if *only != "" {
-		suite = filterAnalyzers(suite, *only)
-		if len(suite) == 0 {
-			fmt.Fprintf(stderr, "defenderlint: no analyzer matches -only=%s\n", *only)
-			return 2
-		}
+	reportable, err := reportFilter(suite, *only, *skip)
+	if err != nil {
+		fmt.Fprintf(stderr, "defenderlint: %v\n", err)
+		return 2
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "defenderlint: unknown -format=%s (want text, json, or sarif)\n", *format)
+		return 2
 	}
 
 	patterns := flags.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := Lint(".", patterns, suite)
+	diags, root, err := Lint(".", patterns, suite, *includeTests)
 	if err != nil {
 		fmt.Fprintf(stderr, "defenderlint: %v\n", err)
 		return 2
 	}
+	reported := diags[:0]
 	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+		if reportable[d.Analyzer] {
+			reported = append(reported, d)
+		}
 	}
-	if len(diags) > 0 {
+
+	out := stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "defenderlint: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := write(out, *format, reported, suite, root); err != nil {
+		fmt.Fprintf(stderr, "defenderlint: %v\n", err)
+		return 2
+	}
+
+	fmt.Fprintln(stderr, summary(reported))
+	if len(reported) > 0 {
 		return 1
 	}
 	return 0
 }
 
 // Lint loads every package matched by patterns (relative to dir) and runs
-// the suite, returning all diagnostics sorted by position.
-func Lint(dir string, patterns []string, suite []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+// the full suite through the module engine, returning all diagnostics
+// sorted by position plus the module root for path rendering.
+func Lint(dir string, patterns []string, suite []*analysis.Analyzer, includeTests bool) ([]analysis.Diagnostic, string, error) {
 	loader, err := analysis.NewLoader(dir)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	dirs, err := expand(dir, patterns)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	var all []analysis.Diagnostic
+	var pkgs []*analysis.Package
 	for _, pkgDir := range dirs {
+		if includeTests {
+			variants, err := loader.LoadDirWithTests(pkgDir)
+			if err != nil {
+				return nil, "", err
+			}
+			pkgs = append(pkgs, variants...)
+			continue
+		}
 		pkg, err := loader.LoadDir(pkgDir)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		diags, err := analysis.Run(pkg, suite)
+		pkgs = append(pkgs, pkg)
+	}
+	module := analysis.NewModule(loader.Fset, loader.ModuleRoot)
+	module.IncludeTests = includeTests
+	diags, err := analysis.RunModule(module, pkgs, suite)
+	if err != nil {
+		return nil, "", err
+	}
+	return diags, loader.ModuleRoot, nil
+}
+
+// write renders the report in the requested format.
+func write(w io.Writer, format string, diags []analysis.Diagnostic, suite []*analysis.Analyzer, root string) error {
+	switch format {
+	case "json":
+		return analysis.WriteJSON(w, diags, root)
+	case "sarif":
+		return analysis.WriteSARIF(w, diags, suite, root)
+	default:
+		for _, d := range diags {
+			if _, err := fmt.Fprintln(w, d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// summary formats the per-analyzer finding counts for stderr.
+func summary(diags []analysis.Diagnostic) string {
+	if len(diags) == 0 {
+		return "defenderlint: clean"
+	}
+	counts := make(map[string]int)
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s %d", name, counts[name]))
+	}
+	noun := "findings"
+	if len(diags) == 1 {
+		noun = "finding"
+	}
+	return fmt.Sprintf("defenderlint: %d %s (%s)", len(diags), noun, strings.Join(parts, ", "))
+}
+
+// reportFilter resolves -only/-skip into the set of analyzer names whose
+// diagnostics are reported. Unknown names are an error — a typo silently
+// filtering nothing would defeat a CI gate.
+func reportFilter(suite []*analysis.Analyzer, only, skip string) (map[string]bool, error) {
+	if only != "" && skip != "" {
+		return nil, fmt.Errorf("-only and -skip are mutually exclusive")
+	}
+	known := make(map[string]bool, len(suite)+1)
+	for _, a := range suite {
+		known[a.Name] = true
+	}
+	known[analysis.AuditorName] = true
+
+	parse := func(flagName, value string) (map[string]bool, error) {
+		set := make(map[string]bool)
+		for _, name := range strings.Split(value, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				return nil, fmt.Errorf("unknown analyzer %q in %s (see -list)", name, flagName)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+
+	switch {
+	case only != "":
+		return parse("-only", only)
+	case skip != "":
+		skipped, err := parse("-skip", skip)
 		if err != nil {
 			return nil, err
 		}
-		all = append(all, diags...)
+		out := make(map[string]bool, len(known))
+		for name := range known {
+			out[name] = !skipped[name]
+		}
+		return out, nil
+	default:
+		return known, nil
 	}
-	return all, nil
 }
 
 // expand resolves package patterns to package directories.
@@ -120,20 +268,6 @@ func expand(base string, patterns []string) ([]string, error) {
 		add(filepath.Join(base, pat))
 	}
 	return dirs, nil
-}
-
-func filterAnalyzers(suite []*analysis.Analyzer, only string) []*analysis.Analyzer {
-	want := make(map[string]bool)
-	for _, name := range strings.Split(only, ",") {
-		want[strings.TrimSpace(name)] = true
-	}
-	var out []*analysis.Analyzer
-	for _, a := range suite {
-		if want[a.Name] {
-			out = append(out, a)
-		}
-	}
-	return out
 }
 
 func firstLine(s string) string {

@@ -26,15 +26,21 @@ type Package struct {
 // Loader parses and type-checks packages without the go/packages machinery.
 // Standard-library imports are satisfied by the compiler's source importer
 // (type-checking GOROOT sources on demand); imports within the enclosing
-// module are resolved recursively against ModuleRoot. Results are memoized,
-// so loading every package of the repo type-checks each dependency once.
+// module are resolved recursively against ModuleRoot. Results are memoized
+// into one shared type-check cache, so a whole-module run type-checks each
+// dependency exactly once no matter how many packages import it.
 type Loader struct {
 	Fset *token.FileSet
 	// ModuleRoot is the directory containing go.mod; empty for fixture
-	// loading, where only standard-library imports are permitted.
+	// loading.
 	ModuleRoot string
 	// ModulePath is the module's import path prefix from go.mod.
 	ModulePath string
+	// FixtureRoot, when set, resolves non-stdlib import paths against a
+	// fixture tree: importing "internal/obs" loads FixtureRoot/internal/obs.
+	// analysistest points this at the testdata/src directory so fixture
+	// packages can import stand-in dependencies.
+	FixtureRoot string
 
 	std  types.ImporterFrom
 	pkgs map[string]*Package
@@ -54,6 +60,17 @@ func NewLoader(dir string) (*Loader, error) {
 		return nil, err
 	}
 	l.ModuleRoot, l.ModulePath = root, path
+	return l, nil
+}
+
+// NewFixtureLoader returns a loader whose non-stdlib imports resolve under
+// root (conventionally a testdata/src directory).
+func NewFixtureLoader(root string) (*Loader, error) {
+	l, err := NewLoader("")
+	if err != nil {
+		return nil, err
+	}
+	l.FixtureRoot = root
 	return l, nil
 }
 
@@ -93,7 +110,9 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 // ImportFrom implements types.ImporterFrom.
 func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
 	if sub, ok := l.moduleDir(path); ok {
-		pkg, err := l.LoadDir(sub)
+		// The import path is already known; fixture trees have no module
+		// layout to re-derive it from, so load under it directly.
+		pkg, err := l.load(sub, path)
 		if err != nil {
 			return nil, err
 		}
@@ -102,8 +121,16 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 	return l.std.ImportFrom(path, dir, mode)
 }
 
-// moduleDir maps a module-local import path to its directory.
+// moduleDir maps a module-local (or fixture-local) import path to its
+// directory.
 func (l *Loader) moduleDir(path string) (string, bool) {
+	if l.FixtureRoot != "" {
+		dir := filepath.Join(l.FixtureRoot, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+		return "", false
+	}
 	if l.ModulePath == "" {
 		return "", false
 	}
@@ -165,7 +192,18 @@ func (l *Loader) load(dir, pkgPath string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
 	}
+	pkg, err := l.check(dir, pkgPath, files)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[pkgPath] = pkg
+	return pkg, nil
+}
 
+// check type-checks one file set as a package without touching the memoized
+// import cache — the building block for both the cached import graph and the
+// uncached test-augmented variants.
+func (l *Loader) check(dir, pkgPath string, files []*ast.File) (*Package, error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -179,20 +217,24 @@ func (l *Loader) load(dir, pkgPath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", pkgPath, err)
 	}
-	pkg := &Package{
+	return &Package{
 		PkgPath:   pkgPath,
 		Dir:       dir,
 		Fset:      l.Fset,
 		Syntax:    files,
 		Types:     tpkg,
 		TypesInfo: info,
-	}
-	l.pkgs[pkgPath] = pkg
-	return pkg, nil
+	}, nil
 }
 
 // parseGoDir parses every non-test .go file in dir (sorted for determinism).
 func parseGoDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	return parseGoFiles(fset, dir, false)
+}
+
+// parseGoFiles parses the .go files of dir — only non-test files, or only
+// _test.go files — sorted for determinism.
+func parseGoFiles(fset *token.FileSet, dir string, testFiles bool) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -200,7 +242,7 @@ func parseGoDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	var names []string
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") != testFiles {
 			continue
 		}
 		names = append(names, name)
@@ -215,6 +257,51 @@ func parseGoDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 		files = append(files, f)
 	}
 	return files, nil
+}
+
+// LoadDirWithTests returns the package variants of dir a test-inclusive run
+// analyzes: the package with its in-package _test.go files folded in, plus —
+// when present — the external "_test" package. The plain package (the one
+// other packages import) is loaded first so the shared cache and the import
+// graph are identical to a non-test run; the test variants are type-checked
+// on top of it and are never importable.
+func (l *Loader) LoadDirWithTests(dir string) ([]*Package, error) {
+	base, err := l.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	testFiles, err := parseGoFiles(l.Fset, dir, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(testFiles) == 0 {
+		return []*Package{base}, nil
+	}
+	var inPkg, external []*ast.File
+	for _, f := range testFiles {
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			external = append(external, f)
+		} else {
+			inPkg = append(inPkg, f)
+		}
+	}
+
+	out := []*Package{base}
+	if len(inPkg) > 0 {
+		aug, err := l.check(dir, base.PkgPath, append(append([]*ast.File{}, base.Syntax...), inPkg...))
+		if err != nil {
+			return nil, err
+		}
+		out[0] = aug // analyze the augmented variant instead of the base
+	}
+	if len(external) > 0 {
+		ext, err := l.check(dir, base.PkgPath+"_test", external)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ext)
+	}
+	return out, nil
 }
 
 // PackageDirs returns every directory under root holding a non-test Go

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/defender-game/defender/internal/analyzers/analysistest"
+	"github.com/defender-game/defender/internal/analyzers/nakedpanic"
+)
+
+// TestSuppressionAudit drives the framework-level suppression machinery end
+// to end: masking of a named analyzer's findings, plus the auditor's
+// malformed / unknown-analyzer / stale diagnostics.
+func TestSuppressionAudit(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", "example.com/m/internal/a", nakedpanic.Analyzer)
+}

@@ -1,0 +1,28 @@
+// Package a is the suppression-audit fixture, loaded under an internal/
+// import path so nakedpanic produces maskable findings. It covers the four
+// auditor outcomes: a used suppression (silent), a malformed one, one
+// naming an unknown analyzer, and a stale one masking nothing.
+package a
+
+func suppressedOK(n int) int {
+	if n < 0 {
+		// lint:invariant(nakedpanic): n is validated non-negative by every caller
+		panic("unreachable")
+	}
+	return n
+}
+
+func malformed() {
+	// lint:invariant missing the analyzer name and reason // want `malformed suppression; the grammar is`
+	panic("boom") // want `panic in internal library package`
+}
+
+func unknownAnalyzer() int {
+	// lint:invariant(notarealanalyzer): suppressing a rule that does not exist // want `suppression names unknown analyzer "notarealanalyzer"`
+	return 1
+}
+
+func stale() int {
+	// lint:invariant(nakedpanic): nothing here panics anymore // want `stale suppression: no nakedpanic finding`
+	return 2
+}

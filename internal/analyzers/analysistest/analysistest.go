@@ -31,12 +31,20 @@ type expectation struct {
 var wantRx = regexp.MustCompile(`//\s*want\s+(.*)$`)
 
 // Run loads the fixture package rooted at dir under the given import path,
-// applies the analyzer, and reports mismatches through t. The import path
-// matters for analyzers scoped by package location (e.g. nakedpanic only
-// fires inside internal/ trees).
+// applies the analyzer through the whole-module engine, and reports
+// mismatches through t. The import path matters for analyzers scoped by
+// package location (e.g. nakedpanic only fires inside internal/ trees).
+//
+// Non-stdlib imports in fixture files resolve against dir's parent — a
+// fixture at testdata/src/errlost may import "internal/rat" and get the
+// stand-in at testdata/src/internal/rat. The module root is dir itself, so
+// analyzers that read module-root files (metricname's OBSERVABILITY.md
+// catalogue) pick up per-fixture copies. The suppression auditor runs as in
+// production: its findings are matched against // want comments like any
+// analyzer's.
 func Run(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
 	t.Helper()
-	loader, err := analysis.NewLoader("")
+	loader, err := analysis.NewFixtureLoader(filepath.Dir(dir))
 	if err != nil {
 		t.Fatalf("analysistest: new loader: %v", err)
 	}
@@ -44,7 +52,8 @@ func Run(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
 	if err != nil {
 		t.Fatalf("analysistest: load %s: %v", dir, err)
 	}
-	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	module := analysis.NewModule(loader.Fset, dir)
+	diags, err := analysis.RunModule(module, []*analysis.Package{pkg}, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("analysistest: run %s: %v", a.Name, err)
 	}

@@ -1,0 +1,161 @@
+// Package errlost flags discarded error results from this module's
+// internal/... functions.
+//
+// PR 5's exact-arithmetic kernel turned silent numeric failure into explicit
+// error returns (checked multiplies, budget exhaustion); an NE verdict built
+// on a dropped error is exactly the all-or-nothing failure the Defender
+// theorems cannot tolerate. The analyzer flags every place an error produced
+// by an internal package function vanishes:
+//
+//   - a call statement whose results (including an error) are ignored,
+//   - `go f()` / `defer f()` where f returns an error nobody can see, and
+//   - a blank assignment (`_ = f()`, `v, _ := g()`) of the error component.
+//
+// Blank discards that are genuinely safe (writes to strings.Builder, metrics
+// snapshots on a best-effort debug endpoint) stay allowed only under an
+// annotated suppression: // lint:invariant(errlost): <reason>.
+package errlost
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/defender-game/defender/internal/analyzers/analysis"
+)
+
+// Analyzer flags dropped errors from internal package functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "errlost",
+	Doc:  "flag discarded error results of internal/... functions; handle the error or annotate a suppression",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					checkDropped(pass, call, "call statement discards")
+				}
+			case *ast.GoStmt:
+				checkDropped(pass, st.Call, "go statement discards")
+			case *ast.DeferStmt:
+				checkDropped(pass, st.Call, "defer statement discards")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, st)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDropped reports call when it returns an error from an internal
+// function and the whole result is thrown away.
+func checkDropped(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	name, ok := internalErrCall(pass, call)
+	if !ok {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s the error returned by %s; handle it (suppressible as lint:invariant(errlost))", how, name)
+}
+
+// checkBlankAssign reports blank identifiers that swallow the error
+// component of an internal call's results.
+func checkBlankAssign(pass *analysis.Pass, st *ast.AssignStmt) {
+	// v1, ..., vn := f() — one call fanning out to n targets.
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		call, ok := st.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		name, ok := internalErrCall(pass, call)
+		if !ok {
+			return
+		}
+		tuple, ok := pass.TypesInfo.Types[call].Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(st.Lhs) {
+			return
+		}
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) && isBlank(st.Lhs[i]) {
+				pass.Reportf(st.Lhs[i].Pos(), "blank identifier discards the error returned by %s; handle it (suppressible as lint:invariant(errlost))", name)
+			}
+		}
+		return
+	}
+	// Pairwise assignments: _ = f().
+	for i := range st.Lhs {
+		if i >= len(st.Rhs) || !isBlank(st.Lhs[i]) {
+			continue
+		}
+		call, ok := st.Rhs[i].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if name, ok := internalErrCall(pass, call); ok {
+			pass.Reportf(st.Lhs[i].Pos(), "blank identifier discards the error returned by %s; handle it (suppressible as lint:invariant(errlost))", name)
+		}
+	}
+}
+
+// internalErrCall reports whether call invokes a function declared in an
+// internal/... package of this module whose results include an error, and
+// returns a printable callee name.
+func internalErrCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	obj := callee(pass.TypesInfo, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || !inInternal(fn.Pkg().Path()) {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	hasErr := false
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			hasErr = true
+		}
+	}
+	if !hasErr {
+		return "", false
+	}
+	return fn.Pkg().Name() + "." + fn.Name(), true
+}
+
+// callee resolves the called function or method object, when statically
+// known.
+func callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// inInternal reports whether path names a package inside an internal/ tree
+// (the real module prefixes it with the module path; fixtures use the bare
+// form).
+func inInternal(path string) bool {
+	return strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/")
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,12 @@
+package errlost_test
+
+import (
+	"testing"
+
+	"github.com/defender-game/defender/internal/analyzers/analysistest"
+	"github.com/defender-game/defender/internal/analyzers/errlost"
+)
+
+func TestErrLost(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", "example.com/a", errlost.Analyzer)
+}

@@ -1,0 +1,32 @@
+// Package a is the errlost fixture: errors from internal/... functions must
+// be handled or discarded only under an annotated suppression.
+package a
+
+import "internal/solver"
+
+func drops() {
+	solver.Check()          // want `call statement discards the error returned by solver.Check`
+	go solver.Check()       // want `go statement discards the error returned by solver.Check`
+	defer solver.Check()    // want `defer statement discards the error returned by solver.Check`
+	_ = solver.Check()      // want `blank identifier discards the error returned by solver.Check`
+	v, _ := solver.Solve(3) // want `blank identifier discards the error returned by solver.Solve`
+	_ = v
+}
+
+func handles() error {
+	if err := solver.Check(); err != nil {
+		return err
+	}
+	n, err := solver.Solve(2)
+	_ = n
+	return err
+}
+
+func noError() {
+	solver.Pure(1) // no error result; nothing to lose
+}
+
+func suppressed() {
+	// lint:invariant(errlost): best-effort debug write; failure is logged downstream
+	_ = solver.Check()
+}

@@ -1,0 +1,20 @@
+// Package solver is a stand-in internal/... dependency for the errlost
+// fixture: its error-returning functions are the ones whose results must not
+// be dropped.
+package solver
+
+import "errors"
+
+// Solve returns n or an error for negative input.
+func Solve(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("negative")
+	}
+	return n, nil
+}
+
+// Check always succeeds.
+func Check() error { return nil }
+
+// Pure has no error result; discarding it is fine.
+func Pure(n int) int { return n + 1 }

@@ -1,0 +1,281 @@
+// Package lockheld flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held.
+//
+// A channel send/receive, select, WaitGroup.Wait, time.Sleep, or blocking
+// network/process I/O executed between Lock and Unlock extends the critical
+// section by an unbounded wait — the classic recipe for a stalled worker
+// pool (and, at service scale, a stalled defenderd broker: every request
+// behind the held lock queues for the duration). The analyzer tracks each
+// function body textually: a mutex counts as held from a Lock/RLock call on
+// a receiver expression until the first matching Unlock/RUnlock (to the end
+// of the function when the unlock is deferred), and any blocking operation
+// positioned inside that span is reported.
+//
+// The model is per-function and position-based, not a full CFG: goroutine
+// bodies (`go func(){...}`) and nested function literals are analyzed as
+// their own scopes, since they do not block the lock holder at the point of
+// definition. Genuine by-design waits under a lock can be annotated
+// with a suppression naming this analyzer.
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/defender-game/defender/internal/analyzers/analysis"
+)
+
+// Analyzer flags blocking calls and channel operations under a held mutex.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc:  "flag channel ops, WaitGroup.Wait, sleeps, and blocking I/O while a mutex is held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// span is one held-mutex region of a function body, in source positions.
+type span struct {
+	key  string // printable receiver expression, e.g. "r.mu"
+	from token.Pos
+	to   token.Pos
+	line int // line of the Lock call, for the message
+}
+
+// checkBody analyzes one function body in isolation: nested function
+// literals are skipped here (run visits them as separate scopes).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	spans := lockSpans(pass, body)
+	if len(spans) == 0 {
+		return
+	}
+	comms := selectCommRanges(body)
+	inspectScope(body, func(n ast.Node) {
+		pos, what := blockingOp(pass, n)
+		if what == "" {
+			return
+		}
+		if _, isSelect := n.(*ast.SelectStmt); !isSelect && inRanges(pos, comms) {
+			return // a comm clause blocks as part of its select, reported once there
+		}
+		for _, s := range spans {
+			if pos > s.from && pos < s.to {
+				pass.Reportf(pos, "%s while %s is held (Lock at line %d); shrink the critical section", what, s.key, s.line)
+				return
+			}
+		}
+	})
+}
+
+// posRange is a half-open source region [from, to).
+type posRange struct{ from, to token.Pos }
+
+// selectCommRanges returns the regions of the comm statements (the
+// `case v := <-ch:` parts) of every select in scope.
+func selectCommRanges(body *ast.BlockStmt) []posRange {
+	var out []posRange
+	inspectScope(body, func(n ast.Node) {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return
+		}
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+				out = append(out, posRange{cc.Comm.Pos(), cc.Comm.End()})
+			}
+		}
+	})
+	return out
+}
+
+func inRanges(pos token.Pos, ranges []posRange) bool {
+	for _, r := range ranges {
+		if pos >= r.from && pos < r.to {
+			return true
+		}
+	}
+	return false
+}
+
+// lockSpans collects the held regions of body. Every Lock/RLock opens a span
+// that the first later Unlock/RUnlock on the same receiver closes; a
+// deferred unlock (the dominant idiom) holds to the end of the body.
+func lockSpans(pass *analysis.Pass, body *ast.BlockStmt) []span {
+	type event struct {
+		pos      token.Pos
+		key      string
+		unlock   bool
+		deferred bool
+	}
+	var events []event
+	inspectScope(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		key, name, ok := mutexMethod(pass, call)
+		if !ok {
+			return
+		}
+		events = append(events, event{pos: call.Pos(), key: key, unlock: strings.Contains(name, "Unlock")})
+	})
+	// Deferred unlocks: mark them so they close at body end, not at the
+	// defer statement's position.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			for i := range events {
+				if events[i].pos == d.Call.Pos() {
+					events[i].deferred = true
+				}
+			}
+		}
+		return true
+	})
+
+	var spans []span
+	for i, ev := range events {
+		if ev.unlock {
+			continue
+		}
+		to := body.End()
+		for j := i + 1; j < len(events); j++ {
+			next := events[j]
+			if next.key == ev.key && next.unlock && !next.deferred {
+				to = next.pos
+				break
+			}
+		}
+		spans = append(spans, span{
+			key:  ev.key,
+			from: ev.pos,
+			to:   to,
+			line: pass.Fset.Position(ev.pos).Line,
+		})
+	}
+	return spans
+}
+
+// mutexMethod reports whether call is (R)Lock/(R)Unlock on a sync.Mutex or
+// sync.RWMutex receiver, returning the printable receiver expression.
+func mutexMethod(pass *analysis.Pass, call *ast.CallExpr) (key, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name = sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	s, isMethod := pass.TypesInfo.Selections[sel]
+	if !isMethod || s.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	named, isNamed := deref(s.Recv()).(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" || (obj.Name() != "Mutex" && obj.Name() != "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), name, true
+}
+
+// blockingOp classifies n as an operation that can block indefinitely,
+// returning its position and a description ("" when not blocking).
+func blockingOp(pass *analysis.Pass, n ast.Node) (token.Pos, string) {
+	switch op := n.(type) {
+	case *ast.SendStmt:
+		return op.Arrow, "channel send"
+	case *ast.UnaryExpr:
+		if op.Op == token.ARROW {
+			return op.OpPos, "channel receive"
+		}
+	case *ast.SelectStmt:
+		return op.Select, "select"
+	case *ast.CallExpr:
+		if desc := blockingCall(pass, op); desc != "" {
+			return op.Pos(), desc
+		}
+	}
+	return token.NoPos, ""
+}
+
+// blockingCall recognizes calls that block: WaitGroup.Wait, time.Sleep, and
+// anything from the net, net/*, and os/exec packages.
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		named, isNamed := deref(s.Recv()).(*types.Named)
+		if isNamed {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup" && sel.Sel.Name == "Wait" {
+				return "WaitGroup.Wait"
+			}
+		}
+		if fn, isFn := s.Obj().(*types.Func); isFn && fn.Pkg() != nil && blockingPkg(fn.Pkg().Path()) {
+			return fn.Pkg().Path() + " I/O call " + fn.Name()
+		}
+		return ""
+	}
+	if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		path := fn.Pkg().Path()
+		if path == "time" && fn.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+		if blockingPkg(path) {
+			return path + " I/O call " + fn.Name()
+		}
+	}
+	return ""
+}
+
+// blockingPkg reports whether path names a package whose calls are assumed
+// to block on the network or on child processes.
+func blockingPkg(path string) bool {
+	return path == "net" || strings.HasPrefix(path, "net/") || path == "os/exec"
+}
+
+// inspectScope walks n but does not descend into nested function literals —
+// their bodies run on their own goroutine or call stack, not under the
+// current function's locks at definition time.
+func inspectScope(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit && m != n {
+			return false
+		}
+		if m != nil {
+			visit(m)
+		}
+		return true
+	})
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

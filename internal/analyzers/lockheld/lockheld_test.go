@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"github.com/defender-game/defender/internal/analyzers/analysistest"
+	"github.com/defender-game/defender/internal/analyzers/lockheld"
+)
+
+func TestLockHeld(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", "example.com/a", lockheld.Analyzer)
+}

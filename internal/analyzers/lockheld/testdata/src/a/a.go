@@ -1,0 +1,68 @@
+// Package a is the lockheld fixture: no unbounded waits between Lock and
+// Unlock.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type srv struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (s *srv) badSend() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *srv) badDeferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch // want `channel receive while s.mu is held`
+}
+
+func (s *srv) badWait() {
+	s.mu.Lock()
+	s.wg.Wait() // want `WaitGroup.Wait while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *srv) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *srv) badReadLock() {
+	s.rw.RLock()
+	<-s.ch // want `channel receive while s.rw is held`
+	s.rw.RUnlock()
+}
+
+func (s *srv) goodAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1
+}
+
+func (s *srv) goodGoroutine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { s.ch <- 2 }() // runs after the holder returns; not under the lock
+}
+
+func (s *srv) suppressedSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// lint:invariant(lockheld): non-blocking drain; the default case bounds the wait
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}

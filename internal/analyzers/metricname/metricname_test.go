@@ -1,0 +1,18 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"github.com/defender-game/defender/internal/analyzers/analysistest"
+	"github.com/defender-game/defender/internal/analyzers/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", "example.com/a", metricname.Analyzer)
+}
+
+// TestCatalogueDrift covers the cross-file invariant on its own: code
+// registering a metric the catalogue no longer lists.
+func TestCatalogueDrift(t *testing.T) {
+	analysistest.Run(t, "testdata/src/drift", "example.com/drift", metricname.Analyzer)
+}

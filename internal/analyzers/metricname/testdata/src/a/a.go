@@ -1,0 +1,32 @@
+// Package a is the metricname fixture: names on the default registry must
+// be constant, dotted snake_case, registered once, and catalogued.
+package a
+
+import "internal/obs"
+
+const spanName = "fixture.solve.duration"
+
+func good() {
+	obs.Default().Counter("fixture.requests.total")
+	reg := obs.Default()
+	reg.Counter("fixture.cache.lp.hits")
+	reg.Counter("fixture.cache.lp.misses")
+	obs.Default().StartSpan(spanName)
+}
+
+func bad(kind string) {
+	obs.Default().Counter("fixture." + kind)        // want `Counter name is not a compile-time constant`
+	obs.Default().Gauge("Fixture.BadCase")          // want `not dotted snake_case`
+	obs.Default().Counter("fixture.requests.total") // want `already registered at`
+	obs.Default().Counter("fixture.unknown.metric") // want `not in the OBSERVABILITY.md catalogue`
+}
+
+func adHoc() {
+	r := obs.NewRegistry()
+	r.Counter("throwaway name, any shape") // ad-hoc registry: out of scope
+}
+
+func suppressed(kind string) {
+	// lint:invariant(metricname): per-kind gauges form a catalogued family; kind is validated upstream
+	obs.Default().Gauge("fixture.cells." + kind)
+}

@@ -1,0 +1,10 @@
+// Package drift seeds catalogue drift: a metric registered in code but
+// missing from OBSERVABILITY.md.
+package drift
+
+import "internal/obs"
+
+func register() {
+	obs.Default().Counter("drift.known.metric")
+	obs.Default().Counter("drift.introduced.metric") // want `metric "drift.introduced.metric" is not in the OBSERVABILITY.md catalogue`
+}

@@ -1,0 +1,179 @@
+// Package mutexcopy flags sync primitives copied by value.
+//
+// A copied sync.Mutex/RWMutex/WaitGroup/Once/Cond/Map/Pool forks its internal
+// state: the copy and the original lock independently, which silently voids
+// every mutual-exclusion argument the concurrent engine (and the upcoming
+// defenderd broker) depends on. The analyzer is type-aware — it follows
+// struct embedding and arrays to find buried sync state — and flags
+//
+//   - function parameters, results, and receivers declared by value,
+//   - assignments and variable declarations that copy such a value,
+//   - range clauses whose element copies such a value, and
+//   - call arguments passed by value.
+//
+// Tests are not exempt: a copied lock corrupts a test's synchronization just
+// as thoroughly, so the check applies to _test.go files whenever the driver
+// loads them (-include-tests).
+package mutexcopy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/defender-game/defender/internal/analyzers/analysis"
+)
+
+// Analyzer flags by-value copies of sync primitives.
+var Analyzer = &analysis.Analyzer{
+	Name: "mutexcopy",
+	Doc:  "flag sync.Mutex/RWMutex/WaitGroup/... copied by value; pass pointers instead",
+	Run:  run,
+}
+
+// syncTypes are the sync package types whose value copies are bugs.
+var syncTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+	"Cond": true, "Map": true, "Pool": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch nd := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(pass, nd.Recv, "receiver")
+				if nd.Type != nil {
+					checkFieldList(pass, nd.Type.Params, "parameter")
+					checkFieldList(pass, nd.Type.Results, "result")
+				}
+			case *ast.FuncLit:
+				checkFieldList(pass, nd.Type.Params, "parameter")
+				checkFieldList(pass, nd.Type.Results, "result")
+			case *ast.AssignStmt:
+				if len(nd.Lhs) == len(nd.Rhs) {
+					for i := range nd.Rhs {
+						if isBlank(nd.Lhs[i]) {
+							continue // discarded, not copied into anything
+						}
+						checkCopyExpr(pass, nd.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range nd.Values {
+					checkCopyExpr(pass, v)
+				}
+			case *ast.RangeStmt:
+				if nd.Value != nil && !isBlank(nd.Value) {
+					if name := syncIn(defType(pass, nd.Value)); name != "" {
+						pass.Reportf(nd.Value.Pos(), "range copies sync.%s by value each iteration; range over indices or pointers", name)
+					}
+				}
+			case *ast.CallExpr:
+				checkCallArgs(pass, nd)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFieldList flags by-value sync-bearing declarations in a parameter,
+// result, or receiver list.
+func checkFieldList(pass *analysis.Pass, fl *ast.FieldList, role string) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		t := pass.TypesInfo.Types[f.Type].Type
+		if t == nil {
+			continue
+		}
+		if name := syncIn(t); name != "" {
+			pass.Reportf(f.Type.Pos(), "%s copies sync.%s by value; use a pointer", role, name)
+		}
+	}
+}
+
+// checkCopyExpr flags an assignment right-hand side that copies an existing
+// sync-bearing value. Fresh construction (composite literals, conversions,
+// function returns) is not a copy of shared state and stays allowed — the
+// producing declaration is flagged instead.
+func checkCopyExpr(pass *analysis.Pass, rhs ast.Expr) {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		if name := syncIn(typeOf(pass, rhs)); name != "" {
+			pass.Reportf(rhs.Pos(), "assignment copies sync.%s by value; share a pointer instead", name)
+		}
+	}
+}
+
+// checkCallArgs flags sync-bearing values passed by value as arguments.
+func checkCallArgs(pass *analysis.Pass, call *ast.CallExpr) {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	for _, arg := range call.Args {
+		switch ast.Unparen(arg).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			if name := syncIn(typeOf(pass, arg)); name != "" {
+				pass.Reportf(arg.Pos(), "argument copies sync.%s by value; pass a pointer", name)
+			}
+		}
+	}
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// defType resolves e's type even when e is a defining identifier (a `:=`
+// range variable), which the Types map does not record.
+func defType(pass *analysis.Pass, e ast.Expr) types.Type {
+	if t := typeOf(pass, e); t != nil {
+		return t
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// syncIn returns the name of a sync primitive reachable by value inside t
+// (directly, through struct fields, or through array elements), or "".
+func syncIn(t types.Type) string {
+	return syncInRec(t, make(map[types.Type]bool))
+}
+
+func syncInRec(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncTypes[obj.Name()] {
+			return obj.Name()
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := syncInRec(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return syncInRec(u.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package mutexcopy_test
+
+import (
+	"testing"
+
+	"github.com/defender-game/defender/internal/analyzers/analysistest"
+	"github.com/defender-game/defender/internal/analyzers/mutexcopy"
+)
+
+func TestMutexCopy(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", "example.com/a", mutexcopy.Analyzer)
+}

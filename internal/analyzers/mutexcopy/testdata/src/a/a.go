@@ -1,0 +1,65 @@
+// Package a is the mutexcopy fixture: sync primitives (including ones
+// buried in struct fields) must move by pointer, never by value.
+package a
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type byPtr struct{ mu *sync.Mutex }
+
+func badParam(mu sync.Mutex) { // want `parameter copies sync.Mutex by value`
+	_ = mu
+}
+
+func badResult() (wg sync.WaitGroup) { // want `result copies sync.WaitGroup by value`
+	return
+}
+
+func (g guarded) badRecv() {} // want `receiver copies sync.Mutex by value`
+
+func badAssign(g *guarded) int {
+	h := *g // want `assignment copies sync.Mutex by value`
+	return h.n
+}
+
+func badRange(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range copies sync.Mutex by value each iteration`
+		total += g.n
+	}
+	return total
+}
+
+func take(g guarded) { // want `parameter copies sync.Mutex by value`
+	_ = g.n
+}
+
+func badArg(g *guarded) {
+	take(*g) // want `argument copies sync.Mutex by value`
+}
+
+func goodPointer(g *guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func goodPtrField(b byPtr) byPtr { // *sync.Mutex field: no state is forked
+	c := b
+	return c
+}
+
+func goodFresh() *guarded {
+	g := guarded{} // fresh construction, not a copy of shared state
+	return &g
+}
+
+func suppressedSnapshot(g *guarded) int {
+	// lint:invariant(mutexcopy): shutdown-time snapshot; no goroutine holds g.mu anymore
+	h := *g
+	return h.n
+}

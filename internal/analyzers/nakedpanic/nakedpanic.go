@@ -4,9 +4,14 @@
 // and long-running experiment drivers; a panic there takes down the whole
 // process instead of surfacing a diagnosable error. Functions should
 // return errors. Panics that guard provably-unreachable invariants (the
-// construction at the call site makes the condition impossible) may be
-// kept by annotating the panic line — or the line above it — with a
-// comment containing "lint:invariant" explaining why.
+// construction at the call site makes the condition impossible) may be kept
+// by annotating the panic line — or the line above it — with a framework
+// suppression naming this analyzer and the reason:
+//
+//	// lint:invariant(nakedpanic): <why the panic is unreachable>
+//
+// Suppression matching and auditing is done by the analysis framework, not
+// here; this analyzer just reports every panic it sees.
 package nakedpanic
 
 import (
@@ -19,12 +24,9 @@ import (
 // Analyzer flags panics in internal library packages.
 var Analyzer = &analysis.Analyzer{
 	Name: "nakedpanic",
-	Doc:  "flag panic in internal/ library packages; return an error or annotate // lint:invariant",
+	Doc:  "flag panic in internal/ library packages; return an error or annotate // lint:invariant(nakedpanic)",
 	Run:  run,
 }
-
-// marker is the allowlist comment for provably-unreachable panics.
-const marker = "lint:invariant"
 
 func run(pass *analysis.Pass) error {
 	if !inInternal(pass.PkgPath) {
@@ -34,7 +36,6 @@ func run(pass *analysis.Pass) error {
 		if pass.InTestFile(file.Pos()) {
 			continue
 		}
-		allowed := markedLines(pass, file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -47,11 +48,7 @@ func run(pass *analysis.Pass) error {
 			if obj := pass.TypesInfo.Uses[id]; obj != nil && obj.Pkg() != nil {
 				return true // shadowed: a user-defined panic function
 			}
-			line := pass.Fset.Position(call.Pos()).Line
-			if allowed[line] || allowed[line-1] {
-				return true
-			}
-			pass.Reportf(call.Pos(), "panic in internal library package; return an error (or annotate the invariant with // %s)", marker)
+			pass.Reportf(call.Pos(), "panic in internal library package; return an error (or annotate the invariant as // lint:invariant(nakedpanic): <reason>)")
 			return true
 		})
 	}
@@ -61,22 +58,4 @@ func run(pass *analysis.Pass) error {
 // inInternal reports whether path names a package inside an internal/ tree.
 func inInternal(path string) bool {
 	return strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/")
-}
-
-// markedLines returns the set of lines covered by a comment group
-// containing the allowlist marker. The whole group counts, so a multi-line
-// justification ending just above the panic still exempts it.
-func markedLines(pass *analysis.Pass, file *ast.File) map[int]bool {
-	lines := make(map[int]bool)
-	for _, group := range file.Comments {
-		if !strings.Contains(group.Text(), marker) {
-			continue
-		}
-		start := pass.Fset.Position(group.Pos()).Line
-		end := pass.Fset.Position(group.End()).Line
-		for l := start; l <= end; l++ {
-			lines[l] = true
-		}
-	}
-	return lines
 }

@@ -18,13 +18,13 @@ func alsoFlagged() {
 
 func allowedSameLine(ok bool) {
 	if !ok {
-		panic("unreachable: caller validated ok") // lint:invariant — callers construct ok=true by definition
+		panic("unreachable: caller validated ok") // lint:invariant(nakedpanic): callers construct ok=true by definition
 	}
 }
 
 func allowedLineAbove(ids []int) int {
 	if len(ids) == 0 {
-		// lint:invariant — ids non-empty by construction at every call site
+		// lint:invariant(nakedpanic): ids non-empty by construction at every call site
 		panic("empty ids")
 	}
 	return ids[0]

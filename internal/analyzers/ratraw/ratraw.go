@@ -1,0 +1,198 @@
+// Package ratraw guards the exact-arithmetic kernel's construction and
+// allocation invariants.
+//
+// The int64 fast path in internal/rat is sound only when every Rat enters
+// the world through a constructor that establishes its invariants (canonical
+// sign, reduced terms, promotion installed atomically). A raw composite
+// literal sidesteps that: rat.Rat{} compiles anywhere (no keys required) and
+// rat.Vec{...} builds element-wise, so both are flagged outside internal/rat
+// itself, as is any direct write through a Rat or Vec element's fields.
+//
+// Separately, the solver hot paths (internal/lp, internal/game,
+// internal/core) exist to avoid big.Rat churn; allocating big.Rat inside a
+// loop body there reintroduces exactly the allocation profile PR 5 removed.
+// The loop rule skips _test.go files — tests construct fixtures however they
+// like — but the construction rule applies to tests too, since a
+// non-canonical Rat corrupts whatever asserts on it.
+package ratraw
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/defender-game/defender/internal/analyzers/analysis"
+)
+
+// Analyzer enforces rat construction and hot-path allocation invariants.
+var Analyzer = &analysis.Analyzer{
+	Name: "ratraw",
+	Doc:  "no raw rat.Rat/rat.Vec literals or field pokes outside internal/rat; no big.Rat allocation in solver loop bodies",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	inRat := isRatPkg(pass.PkgPath)
+	hot := isHotPath(pass.PkgPath)
+	for _, file := range pass.Files {
+		inTest := pass.InTestFile(file.Pos())
+		// Nested loops both contain an inner allocation; report it once.
+		reported := make(map[token.Pos]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch nd := n.(type) {
+			case *ast.CompositeLit:
+				if !inRat {
+					checkLiteral(pass, nd)
+				}
+			case *ast.AssignStmt:
+				if !inRat {
+					checkFieldPoke(pass, nd)
+				}
+			case *ast.ForStmt:
+				if hot && !inTest {
+					checkLoopBody(pass, nd.Body, reported)
+				}
+			case *ast.RangeStmt:
+				if hot && !inTest {
+					checkLoopBody(pass, nd.Body, reported)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLiteral flags composite literals of the kernel's types.
+func checkLiteral(pass *analysis.Pass, lit *ast.CompositeLit) {
+	name := ratType(typeOf(pass, lit))
+	if name == "" {
+		return
+	}
+	pass.Reportf(lit.Pos(), "raw rat.%s composite literal bypasses the kernel's constructors; use rat.FromInt/rat.New/rat.NewVec (suppressible as lint:invariant(ratraw))", name)
+}
+
+// checkFieldPoke flags assignments through a field selector whose receiver is
+// a kernel type — direct state mutation that skips canonicalization.
+func checkFieldPoke(pass *analysis.Pass, st *ast.AssignStmt) {
+	for _, lhs := range st.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			continue
+		}
+		if name := ratType(s.Recv()); name != "" {
+			pass.Reportf(lhs.Pos(), "direct write to rat.%s field %s skips canonicalization; go through the rat API", name, sel.Sel.Name)
+		}
+	}
+}
+
+// checkLoopBody flags big.Rat allocations in a solver loop body. Nested
+// function literals are skipped: a closure defined in the loop runs on its
+// own schedule, and its own loops are inspected when the walk reaches them.
+func checkLoopBody(pass *analysis.Pass, body *ast.BlockStmt, reported map[token.Pos]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch nd := n.(type) {
+		case *ast.CallExpr:
+			if desc := bigRatAlloc(pass, nd); desc != "" && !reported[nd.Pos()] {
+				reported[nd.Pos()] = true
+				pass.Reportf(nd.Pos(), "%s inside a hot-path loop body; hoist it or use the rat kernel (suppressible as lint:invariant(ratraw))", desc)
+			}
+		case *ast.CompositeLit:
+			if isBigRat(typeOf(pass, nd)) && !reported[nd.Pos()] {
+				reported[nd.Pos()] = true
+				pass.Reportf(nd.Pos(), "big.Rat literal inside a hot-path loop body; hoist it or use the rat kernel (suppressible as lint:invariant(ratraw))")
+			}
+		}
+		return true
+	})
+}
+
+// bigRatAlloc classifies call as a big.Rat allocation: big.NewRat(...) or
+// new(big.Rat).
+func bigRatAlloc(pass *analysis.Pass, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "math/big" && fn.Name() == "NewRat" {
+			return "big.NewRat allocation"
+		}
+	case *ast.Ident:
+		if fun.Name == "new" && len(call.Args) == 1 {
+			if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && b.Name() == "new" {
+				if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.IsType() && isBigRat(tv.Type) {
+					return "new(big.Rat) allocation"
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// ratType returns "Rat" or "Vec" when t is the kernel's type (possibly
+// through a pointer), else "".
+func ratType(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !isRatPkg(obj.Pkg().Path()) {
+		return ""
+	}
+	if obj.Name() == "Rat" || obj.Name() == "Vec" {
+		return obj.Name()
+	}
+	return ""
+}
+
+// isBigRat reports whether t is math/big.Rat (possibly through a pointer).
+func isBigRat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "math/big" && obj.Name() == "Rat"
+}
+
+// isRatPkg matches the kernel package in both the real module and fixtures.
+func isRatPkg(path string) bool {
+	return path == "internal/rat" || strings.HasSuffix(path, "/internal/rat")
+}
+
+// isHotPath matches the solver packages whose loops are allocation-sensitive.
+func isHotPath(path string) bool {
+	for _, p := range []string{"internal/lp", "internal/game", "internal/core"} {
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

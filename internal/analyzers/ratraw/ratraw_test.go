@@ -1,0 +1,12 @@
+package ratraw_test
+
+import (
+	"testing"
+
+	"github.com/defender-game/defender/internal/analyzers/analysistest"
+	"github.com/defender-game/defender/internal/analyzers/ratraw"
+)
+
+func TestRatRaw(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", "example.com/m/internal/lp", ratraw.Analyzer)
+}

@@ -1,0 +1,44 @@
+// Package lp is the ratraw fixture. It is loaded under an internal/lp
+// import path, so both rules apply: no raw kernel construction (any package
+// outside internal/rat) and no big.Rat allocation in loop bodies (hot-path
+// packages).
+package lp
+
+import (
+	"internal/rat"
+	"math/big"
+)
+
+func badConstruct() {
+	r := rat.Rat{}               // want `raw rat.Rat composite literal bypasses the kernel's constructors`
+	v := rat.Vec{rat.FromInt(1)} // want `raw rat.Vec composite literal bypasses the kernel's constructors`
+	r.Num = 3                    // want `direct write to rat.Rat field Num skips canonicalization`
+	_ = r
+	_ = v
+}
+
+func goodConstruct() rat.Vec {
+	v := rat.NewVec(2)
+	v[0] = rat.FromInt(7) // element replacement through the API's values
+	return v
+}
+
+func badLoop(n int) *big.Rat {
+	acc := big.NewRat(0, 1) // outside any loop: allowed
+	for i := 1; i <= n; i++ {
+		t := big.NewRat(int64(i), 1) // want `big.NewRat allocation inside a hot-path loop body`
+		acc.Add(acc, t)
+		p := new(big.Rat) // want `new\(big.Rat\) allocation inside a hot-path loop body`
+		_ = p
+	}
+	return acc
+}
+
+func suppressedLoop(xs []int64) *big.Rat {
+	acc := new(big.Rat)
+	for _, x := range xs {
+		// lint:invariant(ratraw): conversion boundary; inputs arrive as big.Rat only here
+		acc.Add(acc, big.NewRat(x, 1))
+	}
+	return acc
+}

@@ -1,0 +1,18 @@
+// Package rat is a stand-in for the exact-arithmetic kernel. Unlike the
+// real kernel it exports its fields, so the fixture can exercise the
+// field-poke diagnostic (which types would otherwise reject at compile
+// time).
+package rat
+
+// Rat is a stand-in rational; the literal in FromInt is fine because raw
+// construction is the kernel's own privilege.
+type Rat struct{ Num, Den int64 }
+
+// Vec is a stand-in vector of rationals.
+type Vec []Rat
+
+// FromInt returns n as a Rat.
+func FromInt(n int64) Rat { return Rat{Num: n, Den: 1} }
+
+// NewVec returns a zeroed vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }

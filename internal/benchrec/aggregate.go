@@ -21,7 +21,7 @@ import "sort"
 // have at least one pass.
 func Aggregate(samples []Table) Table {
 	if len(samples) == 0 {
-		// lint:invariant every caller aggregates at least one repeat pass
+		// lint:invariant(nakedpanic): every caller aggregates at least one repeat pass
 		panic("benchrec: Aggregate of zero samples")
 	}
 	agg := samples[0]

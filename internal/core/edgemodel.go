@@ -144,7 +144,7 @@ func edgesAsTuples(g *graph.Graph, edges []graph.Edge) []game.Tuple {
 	for _, e := range edges {
 		t, err := game.NewTuple(g, []graph.Edge{e})
 		if err != nil {
-			// lint:invariant — callers only pass edges of g, so NewTuple
+			// lint:invariant(nakedpanic): callers only pass edges of g, so NewTuple
 			// cannot fail; a violation is a bug worth crashing on.
 			panic(fmt.Sprintf("core: edge %v not in graph: %v", e, err))
 		}

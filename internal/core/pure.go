@@ -84,7 +84,7 @@ func IsPureNE(gm *game.Game, p game.PureProfile) (bool, error) {
 	// Defender deviation: compare against the best possible tuple.
 	counts := make([]*big.Rat, g.NumVertices())
 	for i := range counts {
-		counts[i] = new(big.Rat)
+		counts[i] = new(big.Rat) // lint:invariant(ratraw): per-vertex accumulators; each is mutated independently below
 	}
 	one := big.NewRat(1, 1)
 	for _, v := range p.VertexChoice {

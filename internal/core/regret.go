@@ -63,7 +63,7 @@ func ComputeRegret(gm *game.Game, mp game.MixedProfile) (Regret, error) {
 	reg := Regret{Attacker: make([]*big.Rat, gm.Attackers())}
 	for i := range mp.VP {
 		current := gm.ExpectedProfitVP(mp, i)
-		r := new(big.Rat).Sub(bestVP, current)
+		r := new(big.Rat).Sub(bestVP, current) // lint:invariant(ratraw): each regret escapes into the returned Regret slice
 		if r.Sign() < 0 {
 			r.SetInt64(0) // numerically impossible; guard regardless
 		}

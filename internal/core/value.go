@@ -91,7 +91,7 @@ func EnumerateTuples(g *graph.Graph, k int) []game.Tuple {
 		if pos == k {
 			t, err := game.NewTupleFromIDs(g, ids)
 			if err != nil {
-				// lint:invariant — ids are distinct ascending edge indices
+				// lint:invariant(nakedpanic): ids are distinct ascending edge indices
 				// by construction, so NewTupleFromIDs cannot fail.
 				panic(fmt.Sprintf("core: enumerate tuples: %v", err))
 			}

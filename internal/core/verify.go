@@ -297,7 +297,7 @@ func maxLoadUniform(g *graph.Graph, k int, c *big.Rat) (*big.Rat, game.Tuple, er
 		if combinationsWithin(g.NumEdges(), k, exhaustiveTupleLimit) {
 			loads := make([]*big.Rat, g.NumVertices())
 			for i := range loads {
-				loads[i] = new(big.Rat).Set(c) // no aliasing across entries
+				loads[i] = new(big.Rat).Set(c) // lint:invariant(ratraw): one independently-mutated big.Rat per vertex; no aliasing across entries
 			}
 			return maxLoadExhaustive(g, k, loads)
 		}

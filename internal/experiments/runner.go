@@ -189,6 +189,7 @@ func percentile(sorted []time.Duration, p int) time.Duration {
 func (r *Runner) finish(t Table) Table {
 	t.Stats = r.Stats()
 	if t.ID != "" && obs.Default().Enabled() {
+		// lint:invariant(metricname): per-table family, catalogued as experiments.table.<id>.cell_seconds
 		h := obs.Default().Histogram("experiments.table." + t.ID + ".cell_seconds")
 		r.mu.Lock()
 		durations := append([]time.Duration(nil), r.durations...)

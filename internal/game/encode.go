@@ -89,7 +89,7 @@ func DecodeProfile(g *graph.Graph, data []byte) (*Game, MixedProfile, error) {
 				return nil, MixedProfile{}, fmt.Errorf("%w: attacker %d: bad vertex key %q",
 					ErrInvalidProfile, i, vs)
 			}
-			p, ok := new(big.Rat).SetString(ps)
+			p, ok := new(big.Rat).SetString(ps) // lint:invariant(ratraw): decode boundary; each parsed probability is retained
 			if !ok {
 				return nil, MixedProfile{}, fmt.Errorf("%w: attacker %d: bad probability %q",
 					ErrInvalidProfile, i, ps)
@@ -105,7 +105,7 @@ func DecodeProfile(g *graph.Graph, data []byte) (*Game, MixedProfile, error) {
 		if err != nil {
 			return nil, MixedProfile{}, fmt.Errorf("tuple %d: %w", j, err)
 		}
-		p, ok := new(big.Rat).SetString(entry.Prob)
+		p, ok := new(big.Rat).SetString(entry.Prob) // lint:invariant(ratraw): decode boundary; each parsed probability is retained
 		if !ok {
 			return nil, MixedProfile{}, fmt.Errorf("%w: tuple %d: bad probability %q",
 				ErrInvalidProfile, j, entry.Prob)

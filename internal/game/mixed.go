@@ -32,7 +32,7 @@ func NewVertexStrategy(probs map[int]*big.Rat) VertexStrategy {
 		if p == nil || p.Sign() == 0 {
 			continue
 		}
-		s.prob[v] = new(big.Rat).Set(p)
+		s.prob[v] = new(big.Rat).Set(p) // lint:invariant(ratraw): defensive copy retained by the strategy; callers may mutate p
 		s.support = append(s.support, v)
 	}
 	sort.Ints(s.support)
@@ -50,7 +50,7 @@ func UniformVertexStrategy(support []int) VertexStrategy {
 	p := make(map[int]*big.Rat, len(support))
 	rp := rat.NewVec(len(support))
 	for i, v := range support {
-		p[v] = big.NewRat(1, int64(len(support)))
+		p[v] = big.NewRat(1, int64(len(support))) // lint:invariant(ratraw): each probability escapes into the strategy map
 		rp[i].SetFrac64(1, int64(len(support)))
 	}
 	return VertexStrategy{support: support, prob: p, rprobs: rp}
@@ -120,7 +120,7 @@ func NewTupleStrategy(tuples []Tuple, probs []*big.Rat) (TupleStrategy, error) {
 		if _, dup := s.prob[key]; dup {
 			return TupleStrategy{}, fmt.Errorf("%w: duplicate tuple %v in support", ErrInvalidProfile, t)
 		}
-		s.prob[key] = new(big.Rat).Set(p)
+		s.prob[key] = new(big.Rat).Set(p) // lint:invariant(ratraw): defensive copy retained by the strategy; callers may mutate p
 		s.tuples = append(s.tuples, t)
 	}
 	sort.Slice(s.tuples, func(i, j int) bool { return lessTuple(s.tuples[i], s.tuples[j]) })
@@ -139,7 +139,7 @@ func UniformTupleStrategy(tuples []Tuple) (TupleStrategy, error) {
 	}
 	probs := make([]*big.Rat, len(tuples))
 	for i := range probs {
-		probs[i] = big.NewRat(1, int64(len(tuples)))
+		probs[i] = big.NewRat(1, int64(len(tuples))) // lint:invariant(ratraw): each probability escapes into the strategy
 	}
 	return NewTupleStrategy(tuples, probs)
 }

@@ -46,7 +46,7 @@ func (gen *Generator) GNP(n int, p float64) *Graph {
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			if gen.rng.Float64() < p {
-				_ = g.AddEdge(u, v)
+				g.mustAddEdge(u, v)
 			}
 		}
 	}
@@ -63,19 +63,19 @@ func (gen *Generator) Bipartite(a, b int, p float64) *Graph {
 	for u := 0; u < a; u++ {
 		for v := a; v < a+b; v++ {
 			if gen.rng.Float64() < p {
-				_ = g.AddEdge(u, v)
+				g.mustAddEdge(u, v)
 			}
 		}
 	}
 	if a >= 1 && b >= 1 {
 		for u := 0; u < a; u++ {
 			if g.Degree(u) == 0 {
-				_ = g.AddEdge(u, a+gen.rng.Intn(b))
+				g.mustAddEdge(u, a+gen.rng.Intn(b))
 			}
 		}
 		for v := a; v < a+b; v++ {
 			if g.Degree(v) == 0 {
-				_ = g.AddEdge(gen.rng.Intn(a), v)
+				g.mustAddEdge(gen.rng.Intn(a), v)
 			}
 		}
 	}
@@ -90,7 +90,7 @@ func (gen *Generator) Tree(n int) *Graph {
 		return g
 	}
 	if n == 2 {
-		_ = g.AddEdge(0, 1)
+		g.mustAddEdge(0, 1)
 		return g
 	}
 	prufer := make([]int, n-2)
@@ -122,7 +122,7 @@ func (gen *Generator) Tree(n int) *Graph {
 	}
 	for _, p := range prufer {
 		v := next()
-		_ = g.AddEdge(v, p)
+		g.mustAddEdge(v, p)
 		degree[v]--
 		degree[p]--
 		if degree[p] == 1 && p < ptr {
@@ -140,7 +140,7 @@ func (gen *Generator) Tree(n int) *Graph {
 			}
 		}
 	}
-	_ = g.AddEdge(u, v)
+	g.mustAddEdge(u, v)
 	return g
 }
 
@@ -152,7 +152,7 @@ func (gen *Generator) Connected(n int, p float64) *Graph {
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			if !g.HasEdge(u, v) && gen.rng.Float64() < p {
-				_ = g.AddEdge(u, v)
+				g.mustAddEdge(u, v)
 			}
 		}
 	}
@@ -194,7 +194,7 @@ func (gen *Generator) BarabasiAlbert(n, attach int) *Graph {
 	// Seed clique keeps early degrees positive.
 	for u := 0; u < attach; u++ {
 		for v := u + 1; v < attach; v++ {
-			_ = g.AddEdge(u, v)
+			g.mustAddEdge(u, v)
 		}
 	}
 	// repeated lists every endpoint once per incident edge: sampling from
@@ -229,7 +229,7 @@ func (gen *Generator) BarabasiAlbert(n, attach int) *Graph {
 		}
 		sort.Ints(neighbors)
 		for _, u := range neighbors {
-			_ = g.AddEdge(v, u)
+			g.mustAddEdge(v, u)
 			repeated = append(repeated, v, u)
 		}
 	}
@@ -257,7 +257,7 @@ func (gen *Generator) WattsStrogatz(n, k int, p float64) *Graph {
 		for j := 1; j <= k/2; j++ {
 			u := (v + j) % n
 			if !g.HasEdge(v, u) {
-				_ = g.AddEdge(v, u)
+				g.mustAddEdge(v, u)
 			}
 		}
 	}
@@ -267,7 +267,7 @@ func (gen *Generator) WattsStrogatz(n, k int, p float64) *Graph {
 	for _, e := range edges {
 		if gen.rng.Float64() >= p {
 			if !out.HasEdge(e.U, e.V) {
-				_ = out.AddEdge(e.U, e.V)
+				out.mustAddEdge(e.U, e.V)
 			}
 			continue
 		}
@@ -275,13 +275,13 @@ func (gen *Generator) WattsStrogatz(n, k int, p float64) *Graph {
 		for attempt := 0; attempt < 2*n; attempt++ {
 			w := gen.rng.Intn(n)
 			if w != e.U && !out.HasEdge(e.U, w) && !g.HasEdge(e.U, w) {
-				_ = out.AddEdge(e.U, w)
+				out.mustAddEdge(e.U, w)
 				rewired = true
 				break
 			}
 		}
 		if !rewired && !out.HasEdge(e.U, e.V) {
-			_ = out.AddEdge(e.U, e.V)
+			out.mustAddEdge(e.U, e.V)
 		}
 	}
 	// Ensure no vertex lost all incident edges to rewiring.
@@ -289,7 +289,7 @@ func (gen *Generator) WattsStrogatz(n, k int, p float64) *Graph {
 		if out.Degree(v) == 0 {
 			u := (v + 1) % n
 			if !out.HasEdge(v, u) {
-				_ = out.AddEdge(v, u)
+				out.mustAddEdge(v, u)
 			}
 		}
 	}
@@ -311,7 +311,7 @@ func tryPairing(n, d int, rng *rand.Rand) (*Graph, bool) {
 		if u == v || g.HasEdge(u, v) {
 			return nil, false
 		}
-		_ = g.AddEdge(u, v)
+		g.mustAddEdge(u, v)
 	}
 	return g, true
 }

@@ -4,7 +4,7 @@ package graph
 func Path(n int) *Graph {
 	g := New(n)
 	for v := 0; v+1 < n; v++ {
-		_ = g.AddEdge(v, v+1)
+		g.mustAddEdge(v, v+1)
 	}
 	return g
 }
@@ -14,7 +14,7 @@ func Path(n int) *Graph {
 func Cycle(n int) *Graph {
 	g := Path(n)
 	if n >= 3 {
-		_ = g.AddEdge(n-1, 0)
+		g.mustAddEdge(n-1, 0)
 	}
 	return g
 }
@@ -24,7 +24,7 @@ func Complete(n int) *Graph {
 	g := New(n)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			_ = g.AddEdge(u, v)
+			g.mustAddEdge(u, v)
 		}
 	}
 	return g
@@ -34,7 +34,7 @@ func Complete(n int) *Graph {
 func Star(n int) *Graph {
 	g := New(n)
 	for v := 1; v < n; v++ {
-		_ = g.AddEdge(0, v)
+		g.mustAddEdge(0, v)
 	}
 	return g
 }
@@ -44,13 +44,13 @@ func Star(n int) *Graph {
 func Wheel(n int) *Graph {
 	g := New(n)
 	for v := 1; v < n; v++ {
-		_ = g.AddEdge(0, v)
+		g.mustAddEdge(0, v)
 	}
 	for v := 1; v+1 < n; v++ {
-		_ = g.AddEdge(v, v+1)
+		g.mustAddEdge(v, v+1)
 	}
 	if n >= 4 {
-		_ = g.AddEdge(n-1, 1)
+		g.mustAddEdge(n-1, 1)
 	}
 	return g
 }
@@ -61,7 +61,7 @@ func CompleteBipartite(a, b int) *Graph {
 	g := New(a + b)
 	for u := 0; u < a; u++ {
 		for v := a; v < a+b; v++ {
-			_ = g.AddEdge(u, v)
+			g.mustAddEdge(u, v)
 		}
 	}
 	return g
@@ -74,10 +74,10 @@ func Grid(r, c int) *Graph {
 		for j := 0; j < c; j++ {
 			v := i*c + j
 			if j+1 < c {
-				_ = g.AddEdge(v, v+1)
+				g.mustAddEdge(v, v+1)
 			}
 			if i+1 < r {
-				_ = g.AddEdge(v, v+c)
+				g.mustAddEdge(v, v+c)
 			}
 		}
 	}
@@ -92,7 +92,7 @@ func Hypercube(d int) *Graph {
 		for b := 0; b < d; b++ {
 			u := v ^ (1 << uint(b))
 			if v < u {
-				_ = g.AddEdge(v, u)
+				g.mustAddEdge(v, u)
 			}
 		}
 	}
@@ -104,7 +104,7 @@ func Hypercube(d int) *Graph {
 func PerfectMatchingGraph(n int) *Graph {
 	g := New(n)
 	for v := 0; v+1 < n; v += 2 {
-		_ = g.AddEdge(v, v+1)
+		g.mustAddEdge(v, v+1)
 	}
 	return g
 }
@@ -113,9 +113,9 @@ func PerfectMatchingGraph(n int) *Graph {
 func Petersen() *Graph {
 	g := New(10)
 	for v := 0; v < 5; v++ {
-		_ = g.AddEdge(v, (v+1)%5)     // outer cycle
-		_ = g.AddEdge(v, v+5)         // spokes
-		_ = g.AddEdge(v+5, (v+2)%5+5) // inner pentagram
+		g.mustAddEdge(v, (v+1)%5)     // outer cycle
+		g.mustAddEdge(v, v+5)         // spokes
+		g.mustAddEdge(v+5, (v+2)%5+5) // inner pentagram
 	}
 	return g
 }
@@ -127,11 +127,11 @@ func Petersen() *Graph {
 func Heawood() *Graph {
 	g := New(14)
 	for v := 0; v < 14; v++ {
-		_ = g.AddEdge(v, (v+1)%14)
+		g.mustAddEdge(v, (v+1)%14)
 	}
 	for _, e := range [][2]int{{0, 5}, {2, 7}, {4, 9}, {6, 11}, {8, 13}, {10, 1}, {12, 3}} {
 		if !g.HasEdge(e[0], e[1]) {
-			_ = g.AddEdge(e[0], e[1])
+			g.mustAddEdge(e[0], e[1])
 		}
 	}
 	return g

@@ -113,6 +113,17 @@ func (g *Graph) AddEdge(u, v int) error {
 	return nil
 }
 
+// mustAddEdge inserts {u, v} for construction code whose arithmetic makes
+// range, self-loop, and duplicate errors impossible (generators emitting
+// distinct in-range pairs, rebuilds iterating an existing edge set). A panic
+// here means the construction itself is broken, never the caller's input.
+func (g *Graph) mustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		// lint:invariant(nakedpanic): callers enumerate distinct in-range pairs; a failure is a bug in this package
+		panic(fmt.Sprintf("graph: internal construction: %v", err))
+	}
+}
+
 // insertSorted inserts x into the ascending slice s, keeping it sorted.
 func insertSorted(s []int, x int) []int {
 	i := sort.SearchInts(s, x)
@@ -235,7 +246,7 @@ func (g *Graph) Clone() *Graph {
 	c := New(g.n)
 	for _, e := range g.edges {
 		// AddEdge cannot fail when replaying a valid edge list.
-		_ = c.AddEdge(e.U, e.V)
+		c.mustAddEdge(e.U, e.V)
 	}
 	return c
 }
@@ -284,7 +295,7 @@ func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int) {
 		iu, okU := index[e.U]
 		iv, okV := index[e.V]
 		if okU && okV {
-			_ = sub.AddEdge(iu, iv)
+			sub.mustAddEdge(iu, iv)
 		}
 	}
 	return sub, keep
@@ -304,7 +315,7 @@ func (g *Graph) SubgraphOfEdges(edges []Edge) (*Graph, []int) {
 			continue
 		}
 		if !sub.HasEdge(e.U, e.V) {
-			_ = sub.AddEdge(e.U, e.V)
+			sub.mustAddEdge(e.U, e.V)
 		}
 		touched[e.U] = true
 		touched[e.V] = true

@@ -107,6 +107,7 @@ func (g *Graph) Write(w io.Writer) error {
 // EncodeString serializes g in edge-list format to a string.
 func (g *Graph) EncodeString() string {
 	var sb strings.Builder
+	// lint:invariant(errlost): strings.Builder writes cannot fail
 	_ = g.Write(&sb)
 	return sb.String()
 }

@@ -13,7 +13,7 @@ func (g *Graph) Complement() *Graph {
 	for u := 0; u < g.n; u++ {
 		for v := u + 1; v < g.n; v++ {
 			if !g.HasEdge(u, v) {
-				_ = c.AddEdge(u, v)
+				c.mustAddEdge(u, v)
 			}
 		}
 	}
@@ -32,7 +32,7 @@ func (g *Graph) LineGraph() *Graph {
 		for j := i + 1; j < m; j++ {
 			ej := g.EdgeByID(j)
 			if ej.Has(ei.U) || ej.Has(ei.V) {
-				_ = l.AddEdge(i, j)
+				l.mustAddEdge(i, j)
 			}
 		}
 	}
@@ -45,10 +45,10 @@ func DisjointUnion(g, h *Graph) (*Graph, int) {
 	offset := g.n
 	u := New(g.n + h.n)
 	for _, e := range g.edges {
-		_ = u.AddEdge(e.U, e.V)
+		u.mustAddEdge(e.U, e.V)
 	}
 	for _, e := range h.edges {
-		_ = u.AddEdge(e.U+offset, e.V+offset)
+		u.mustAddEdge(e.U+offset, e.V+offset)
 	}
 	return u, offset
 }
@@ -62,12 +62,12 @@ func Barbell(c int) *Graph {
 	g := New(2 * c)
 	for u := 0; u < c; u++ {
 		for v := u + 1; v < c; v++ {
-			_ = g.AddEdge(u, v)
-			_ = g.AddEdge(c+u, c+v)
+			g.mustAddEdge(u, v)
+			g.mustAddEdge(c+u, c+v)
 		}
 	}
 	if c >= 1 {
-		_ = g.AddEdge(c-1, c)
+		g.mustAddEdge(c-1, c)
 	}
 	return g
 }
@@ -78,12 +78,12 @@ func Lollipop(c, p int) *Graph {
 	g := New(c + p)
 	for u := 0; u < c; u++ {
 		for v := u + 1; v < c; v++ {
-			_ = g.AddEdge(u, v)
+			g.mustAddEdge(u, v)
 		}
 	}
 	prev := c - 1
 	for i := 0; i < p; i++ {
-		_ = g.AddEdge(prev, c+i)
+		g.mustAddEdge(prev, c+i)
 		prev = c + i
 	}
 	return g
@@ -98,7 +98,7 @@ func CompleteBinaryTree(levels int) *Graph {
 	n := (1 << uint(levels)) - 1
 	g := New(n)
 	for v := 1; v < n; v++ {
-		_ = g.AddEdge(v, (v-1)/2)
+		g.mustAddEdge(v, (v-1)/2)
 	}
 	return g
 }
@@ -109,11 +109,11 @@ func CompleteBinaryTree(levels int) *Graph {
 func Caterpillar(s, legs int) *Graph {
 	g := New(s + s*legs)
 	for v := 0; v+1 < s; v++ {
-		_ = g.AddEdge(v, v+1)
+		g.mustAddEdge(v, v+1)
 	}
 	for i := 0; i < s; i++ {
 		for j := 0; j < legs; j++ {
-			_ = g.AddEdge(i, s+i*legs+j)
+			g.mustAddEdge(i, s+i*legs+j)
 		}
 	}
 	return g
@@ -123,7 +123,7 @@ func Caterpillar(s, legs int) *Graph {
 // example helper for statically-known edges.
 func (g *Graph) MustEdge(u, v int) Edge {
 	if !g.HasEdge(u, v) {
-		// lint:invariant — Must* helper: panicking on a statically-known
+		// lint:invariant(nakedpanic): Must* helper; panicking on a statically-known
 		// edge that is absent is the documented contract.
 		panic(fmt.Sprintf("graph: edge (%d,%d) not present", u, v))
 	}

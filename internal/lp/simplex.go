@@ -119,7 +119,7 @@ func Minimize(c []*big.Rat, a [][]*big.Rat, b []*big.Rat) (Solution, error) {
 		if cj == nil {
 			return Solution{}, fmt.Errorf("%w: nil objective coefficient %d", ErrBadProgram, j)
 		}
-		neg[j] = new(big.Rat).Neg(cj)
+		neg[j] = new(big.Rat).Neg(cj) // lint:invariant(ratraw): each negated coefficient escapes into the program
 	}
 	sol, err := Maximize(neg, a, b)
 	if err != nil || sol.Status != Optimal {
@@ -127,7 +127,7 @@ func Minimize(c []*big.Rat, a [][]*big.Rat, b []*big.Rat) (Solution, error) {
 	}
 	sol.Value = new(big.Rat).Neg(sol.Value)
 	for i := range sol.Dual {
-		sol.Dual[i] = new(big.Rat).Neg(sol.Dual[i])
+		sol.Dual[i] = new(big.Rat).Neg(sol.Dual[i]) // lint:invariant(ratraw): each negated dual escapes into the solution
 	}
 	return sol, nil
 }

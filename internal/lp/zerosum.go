@@ -60,7 +60,7 @@ func SolveZeroSum(m [][]*big.Rat) (GameSolution, error) {
 		for j := 0; j < cols; j++ {
 			nt[j] = make([]*big.Rat, rows)
 			for i := 0; i < rows; i++ {
-				nt[j][i] = new(big.Rat).Neg(m[i][j])
+				nt[j][i] = new(big.Rat).Neg(m[i][j]) // lint:invariant(ratraw): transposed matrix entries each need their own big.Rat
 			}
 		}
 		gs, err := SolveZeroSum(nt)
@@ -90,16 +90,16 @@ func SolveZeroSum(m [][]*big.Rat) (GameSolution, error) {
 	for i := range a {
 		a[i] = make([]*big.Rat, cols)
 		for j := range a[i] {
-			a[i][j] = new(big.Rat).Add(m[i][j], shift)
+			a[i][j] = new(big.Rat).Add(m[i][j], shift) // lint:invariant(ratraw): shifted matrix entries each need their own big.Rat
 		}
 	}
 	c := make([]*big.Rat, cols)
 	for j := range c {
-		c[j] = big.NewRat(1, 1)
+		c[j] = big.NewRat(1, 1) // lint:invariant(ratraw): objective entries escape into the program; Maximize may mutate them
 	}
 	b := make([]*big.Rat, rows)
 	for i := range b {
-		b[i] = big.NewRat(1, 1)
+		b[i] = big.NewRat(1, 1) // lint:invariant(ratraw): constraint entries escape into the program; Maximize may mutate them
 	}
 
 	sol, err := Maximize(c, a, b)
@@ -115,11 +115,11 @@ func SolveZeroSum(m [][]*big.Rat) (GameSolution, error) {
 
 	col := make([]*big.Rat, cols)
 	for j := range col {
-		col[j] = new(big.Rat).Mul(sol.X[j], shiftedValue)
+		col[j] = new(big.Rat).Mul(sol.X[j], shiftedValue) // lint:invariant(ratraw): each strategy weight escapes into the returned solution
 	}
 	row := make([]*big.Rat, rows)
 	for i := range row {
-		row[i] = new(big.Rat).Mul(sol.Dual[i], shiftedValue)
+		row[i] = new(big.Rat).Mul(sol.Dual[i], shiftedValue) // lint:invariant(ratraw): each strategy weight escapes into the returned solution
 	}
 	value := new(big.Rat).Sub(shiftedValue, shift)
 	return GameSolution{Value: value, Row: row, Col: col}, nil

@@ -25,10 +25,12 @@ func NewDebugMux(r *Registry) *http.ServeMux {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if wantsPrometheus(req) {
 			w.Header().Set("Content-Type", PrometheusContentType)
+			// lint:invariant(errlost): best-effort debug endpoint; a failed write means the client hung up
 			_ = r.WritePrometheus(w)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
+		// lint:invariant(errlost): best-effort debug endpoint; a failed write means the client hung up
 		_ = r.Snapshot().WriteJSON(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())

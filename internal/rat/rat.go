@@ -76,7 +76,7 @@ func (z *Rat) SetInt64(n int64) *Rat {
 // b == math.MinInt64, whose reduced denominator 2^63 exceeds int64).
 func (z *Rat) SetFrac64(a, b int64) *Rat {
 	if b == 0 {
-		// lint:invariant — zero denominator is a caller contract violation;
+		// lint:invariant(nakedpanic): zero denominator is a caller contract violation;
 		// panicking matches big.Rat.SetFrac64.
 		panic("rat: division by zero")
 	}
@@ -253,7 +253,7 @@ func (z *Rat) mulSmall(a, b, c, d int64) *Rat {
 // big.Rat. z may alias x or y.
 func (z *Rat) Quo(x, y *Rat) *Rat {
 	if y.Sign() == 0 {
-		// lint:invariant — division by zero is a caller contract violation;
+		// lint:invariant(nakedpanic): division by zero is a caller contract violation;
 		// panicking matches big.Rat.Quo.
 		panic("rat: division by zero")
 	}
@@ -289,7 +289,7 @@ func (z *Rat) Neg(x *Rat) *Rat {
 // Inv sets z = 1/x and returns z. It panics when x is zero.
 func (z *Rat) Inv(x *Rat) *Rat {
 	if x.Sign() == 0 {
-		// lint:invariant — inverting zero is a caller contract violation;
+		// lint:invariant(nakedpanic): inverting zero is a caller contract violation;
 		// panicking matches big.Rat.Inv.
 		panic("rat: division by zero")
 	}
