@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test lint vet race bench bench-kernel benchdiff fuzz-smoke linkcheck check
+.PHONY: all build test lint vet race bench bench-kernel benchdiff fuzz-smoke linkcheck loadtest check
 
 # DOCS is the documentation set linkcheck keeps honest (relative links and
 # heading anchors; see cmd/linkcheck).
@@ -58,11 +58,44 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff -min-samples 2 -min-wall-ms 1 -history bench/history
 
 # fuzz-smoke gives each native fuzz target a short budget; crashes fail
-# the target and land a reproducer under testdata/fuzz.
+# the target and land a reproducer under testdata/fuzz. The graph package
+# holds two targets (edge-list parser and graph6 round-trip), so the
+# -fuzz patterns are anchored.
 fuzz-smoke:
-	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/graph
-	$(GO) test -run='^$$' -fuzz=FuzzDecodeProfile -fuzztime=$(FUZZTIME) ./internal/game
-	$(GO) test -run='^$$' -fuzz=FuzzRatVsBigRat -fuzztime=$(FUZZTIME) ./internal/rat
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run='^$$' -fuzz='^FuzzParseGraph6$$' -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeProfile$$' -fuzztime=$(FUZZTIME) ./internal/game
+	$(GO) test -run='^$$' -fuzz='^FuzzRatVsBigRat$$' -fuzztime=$(FUZZTIME) ./internal/rat
+	$(GO) test -run='^$$' -fuzz='^FuzzServeSolve$$' -fuzztime=$(FUZZTIME) ./internal/server
+
+# loadtest boots defenderd on a private port, waits for /healthz, and
+# drives LOADTEST_DURATION of cached solve traffic through cmd/loadgen:
+# the steady-state broker + cache + encode path, not the solver. The
+# latency record (p50/p95/p99) is written to BENCH_loadgen.json and
+# appended to bench/history; the run fails below LOADTEST_MIN_RPS req/s.
+# Run it twice and `make benchdiff` gates the serve-vs-serve pair (CI's
+# serve-smoke job does exactly that).
+LOADTEST_ADDR ?= 127.0.0.1:18211
+LOADTEST_DURATION ?= 10s
+LOADTEST_MIN_RPS ?= 2000
+LOADTEST_CONCURRENCY ?= 32
+LOADTEST_HISTORY ?= bench/history
+loadtest:
+	@mkdir -p bin
+	$(GO) build -o bin/defenderd ./cmd/defenderd
+	$(GO) build -o bin/loadgen ./cmd/loadgen
+	@set -e; \
+	./bin/defenderd -addr $(LOADTEST_ADDR) & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; wait $$pid 2>/dev/null' EXIT INT TERM; \
+	ok=0; \
+	for i in $$(seq 1 100); do \
+		if curl -fsS -o /dev/null http://$(LOADTEST_ADDR)/healthz 2>/dev/null; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "loadtest: defenderd never became healthy on $(LOADTEST_ADDR)"; exit 1; }; \
+	./bin/loadgen -addr http://$(LOADTEST_ADDR) -duration $(LOADTEST_DURATION) \
+		-concurrency $(LOADTEST_CONCURRENCY) -min-rps $(LOADTEST_MIN_RPS) \
+		-bench-out BENCH_loadgen.json -bench-history $(LOADTEST_HISTORY)
 
 linkcheck:
 	$(GO) run ./cmd/linkcheck $(DOCS)

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bootServer runs defenderd on a free port and returns its base URL plus
+// a shutdown func that triggers the graceful drain and waits for run to
+// return.
+func bootServer(t *testing.T, extraArgs ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() {
+		errCh <- run(ctx, args, func(a string) { addrCh <- a })
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-errCh:
+		cancel()
+		t.Fatalf("defenderd exited before becoming ready: %v", err)
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("defenderd never became ready")
+	}
+	return "http://" + addr, func() error {
+		cancel()
+		select {
+		case err := <-errCh:
+			return err
+		case <-time.After(20 * time.Second):
+			return fmt.Errorf("defenderd did not drain in time")
+		}
+	}
+}
+
+// TestBootSolveShutdown is the boot smoke: the daemon comes up, answers
+// /healthz and a real solve with an exact game value, and drains cleanly
+// on cancellation.
+func TestBootSolveShutdown(t *testing.T) {
+	base, shutdown := bootServer(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	body := `{"n":6,"edges":[[0,1],[1,2],[2,3],[3,4],[4,5],[0,5]],"k":2}`
+	resp, err = http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d", resp.StatusCode)
+	}
+	var payload struct {
+		Result struct {
+			GameValue string `json:"game_value"`
+			Rho       int    `json:"rho"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Result.GameValue != "2/3" || payload.Result.Rho != 3 {
+		t.Errorf("C6 k=2: got value %q rho %d, want 2/3 and 3", payload.Result.GameValue, payload.Result.Rho)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+}
+
+// TestTraceOut: the solve span stream lands in the -trace-out file.
+func TestTraceOut(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	base, shutdown := bootServer(t, "-trace-out", trace)
+	resp, err := http.Post(base+"/v1/solve", "application/json",
+		strings.NewReader(`{"n":2,"edges":[[0,1]],"k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "server.solve") {
+		t.Errorf("trace stream missing the server.solve span:\n%s", data)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "positional"}, nil); err == nil {
+		t.Error("positional arguments must be rejected")
+	}
+	if err := run(context.Background(), []string{"-trace-out", "/nonexistent-dir/t.jsonl"}, nil); err == nil {
+		t.Error("unwritable trace-out path must fail")
+	}
+}

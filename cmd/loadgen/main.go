@@ -1,0 +1,252 @@
+// Command loadgen drives sustained traffic against a running defenderd
+// (cmd/defenderd) and records the observed request throughput and latency
+// percentiles as a schema-v2 bench record (internal/benchrec), so serve
+// performance lands in the same bench/history trajectory — and under the
+// same cmd/benchdiff regression gate — as the experiment tables and the
+// arithmetic kernels.
+//
+// Usage:
+//
+//	loadgen [-addr http://127.0.0.1:8080] [-spec cycle:12] [-k 2]
+//	        [-attackers 1] [-duration 10s] [-concurrency 32]
+//	        [-bench-out FILE] [-bench-history DIR] [-min-rps 0]
+//
+// The workload is the service's steady state: one warm-up solve
+// populates the response cache, then every concurrent worker re-requests
+// the same instance for the full duration, so the run measures the
+// broker + cache + encode path (thousands of requests per second), not
+// the solver. Any non-200 response fails the run, as does a throughput
+// below -min-rps. Exit codes: 0 ok, 1 run or threshold failure, 2 usage
+// error.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/defender-game/defender/internal/benchrec"
+	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/gspec"
+	"github.com/defender-game/defender/internal/obs"
+)
+
+func main() {
+	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
+	case err == nil:
+		os.Exit(0)
+	case err == flag.ErrHelp:
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// result aggregates one worker's share of the run.
+type result struct {
+	latencies []time.Duration
+	errors    int
+	lastErr   error
+}
+
+// run executes the load phase and returns an error when the run itself
+// failed or a threshold was missed. It is the whole command — the tests
+// run it against an httptest server.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "http://127.0.0.1:8080", "base URL of the defenderd under test")
+		spec        = fs.String("spec", "cycle:12", "graph spec of the solved instance (internal/gspec syntax)")
+		k           = fs.Int("k", 2, "defender power of the instance")
+		attackers   = fs.Int("attackers", 1, "attacker count of the instance")
+		duration    = fs.Duration("duration", 10*time.Second, "how long to sustain the load")
+		concurrency = fs.Int("concurrency", 32, "concurrent client workers")
+		benchOut    = fs.String("bench-out", "", "write the schema-v2 bench record to this file")
+		benchHist   = fs.String("bench-history", "", "append the bench record to this history directory")
+		minRPS      = fs.Float64("min-rps", 0, "fail the run below this request throughput")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *concurrency < 1 || *duration <= 0 {
+		return fmt.Errorf("need -concurrency >= 1 and -duration > 0")
+	}
+
+	g, err := gspec.Parse(*spec)
+	if err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	g6, err := graph.FormatGraph6(g)
+	if err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	body, err := requestBody(g6, *k, *attackers)
+	if err != nil {
+		return err
+	}
+	url := *addr + "/v1/solve"
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        *concurrency * 2,
+			MaxIdleConnsPerHost: *concurrency * 2,
+		},
+	}
+
+	// Warm-up: one full solve primes the response cache (and proves the
+	// target is actually up) before the clock starts.
+	if status, err := post(client, url, body); err != nil {
+		return fmt.Errorf("warm-up request: %w", err)
+	} else if status != http.StatusOK {
+		return fmt.Errorf("warm-up request: status %d (is defenderd serving %s?)", status, *spec)
+	}
+
+	results := make([]result, *concurrency)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(res *result) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				status, err := post(client, url, body)
+				if err != nil || status != http.StatusOK {
+					res.errors++
+					if err == nil {
+						err = fmt.Errorf("status %d", status)
+					}
+					res.lastErr = err
+					continue
+				}
+				res.latencies = append(res.latencies, time.Since(t0))
+			}
+		}(&results[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	errCount := 0
+	var lastErr error
+	for i := range results {
+		all = append(all, results[i].latencies...)
+		errCount += results[i].errors
+		if results[i].lastErr != nil {
+			lastErr = results[i].lastErr
+		}
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("no request completed (last error: %v)", lastErr)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rps := float64(len(all)) / elapsed.Seconds()
+	p50, p95, p99 := percentile(all, 0.50), percentile(all, 0.95), percentile(all, 0.99)
+	max := all[len(all)-1]
+
+	fmt.Fprintf(stdout, "loadgen: %s k=%d ν=%d against %s\n", *spec, *k, *attackers, *addr)
+	fmt.Fprintf(stdout, "loadgen: %d requests in %.1fs (%d workers): %.0f req/s, %d errors\n",
+		len(all), elapsed.Seconds(), *concurrency, rps, errCount)
+	fmt.Fprintf(stdout, "loadgen: latency p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms\n",
+		ms(p50), ms(p95), ms(p99), ms(max))
+
+	rep := &benchrec.Report{
+		Suite:            "loadgen",
+		WorkersRequested: *concurrency,
+		WorkersEffective: *concurrency,
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		BenchRepeat:      1,
+		TotalWallMS:      ms(elapsed),
+		Tables: []benchrec.Table{{
+			ID:          "serve_solve",
+			Rows:        1,
+			Cells:       len(all),
+			CellTiming:  true,
+			Samples:     1,
+			WallMS:      ms(elapsed),
+			CellsPerSec: rps,
+			CellP50MS:   ms(p50),
+			CellP95MS:   ms(p95),
+			CellP99MS:   ms(p99),
+			CellMaxMS:   ms(max),
+		}},
+		Metrics: obs.Default().Snapshot(),
+	}
+	rep.StampEnvironment("")
+	if *benchOut != "" {
+		if err := rep.Save(*benchOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "loadgen: bench record written to %s\n", *benchOut)
+	}
+	if *benchHist != "" {
+		path, err := benchrec.AppendHistory(*benchHist, rep)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "loadgen: bench record appended to %s\n", path)
+	}
+
+	if errCount > 0 {
+		return fmt.Errorf("%d of %d requests failed (last error: %v)", errCount, errCount+len(all), lastErr)
+	}
+	if *minRPS > 0 && rps < *minRPS {
+		return fmt.Errorf("throughput %.0f req/s below the -min-rps floor of %.0f", rps, *minRPS)
+	}
+	return nil
+}
+
+// requestBody renders the solve request once; every worker reuses it.
+func requestBody(g6 string, k, attackers int) ([]byte, error) {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `{"graph6":%q,"k":%d`, g6, k)
+	if attackers != 1 {
+		fmt.Fprintf(&b, `,"attackers":%d`, attackers)
+	}
+	b.WriteString("}")
+	return b.Bytes(), nil
+}
+
+// post sends one solve request and fully drains the response so the
+// connection is reused.
+func post(client *http.Client, url string, body []byte) (int, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return resp.StatusCode, err
+	}
+	return resp.StatusCode, nil
+}
+
+// percentile is the nearest-rank percentile of a sorted sample.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted)) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

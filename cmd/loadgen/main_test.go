@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/defender-game/defender/internal/benchrec"
+	"github.com/defender-game/defender/internal/server"
+)
+
+// startTarget serves the real solve API in-process for loadgen to hit.
+func startTarget(t *testing.T) *httptest.Server {
+	t.Helper()
+	api := server.New(server.Config{Workers: 2, QueueCap: 64})
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = api.Close(ctx)
+	})
+	return ts
+}
+
+// TestRunAgainstLiveServer drives a short real run end to end: traffic,
+// summary, bench record, history append.
+func TestRunAgainstLiveServer(t *testing.T) {
+	ts := startTarget(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_loadgen.json")
+	hist := filepath.Join(dir, "history")
+
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-spec", "cycle:8",
+		"-k", "2",
+		"-duration", "300ms",
+		"-concurrency", "4",
+		"-bench-out", out,
+		"-bench-history", hist,
+		"-min-rps", "1",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstdout: %s\nstderr: %s", err, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "req/s") {
+		t.Errorf("summary missing throughput line:\n%s", stdout.String())
+	}
+
+	rep, err := benchrec.Load(out)
+	if err != nil {
+		t.Fatalf("bench record: %v", err)
+	}
+	if rep.Suite != "loadgen" || len(rep.Tables) != 1 {
+		t.Fatalf("report shape: suite %q, %d tables", rep.Suite, len(rep.Tables))
+	}
+	tab := rep.Tables[0]
+	if tab.ID != "serve_solve" || !tab.CellTiming || tab.Cells < 1 {
+		t.Errorf("table: %+v", tab)
+	}
+	if tab.CellP50MS <= 0 || tab.CellP99MS < tab.CellP50MS {
+		t.Errorf("percentiles not monotone: p50 %.3f p99 %.3f", tab.CellP50MS, tab.CellP99MS)
+	}
+	paths, err := benchrec.ListHistory(hist)
+	if err != nil || len(paths) != 1 {
+		t.Errorf("history append: %v, %v", paths, err)
+	}
+}
+
+// TestRunMinRPSFailure: an unreachable throughput floor fails the run
+// after the traffic succeeded.
+func TestRunMinRPSFailure(t *testing.T) {
+	ts := startTarget(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-spec", "path:4",
+		"-k", "1",
+		"-duration", "100ms",
+		"-concurrency", "2",
+		"-min-rps", "1e12",
+	}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "below the -min-rps floor") {
+		t.Errorf("want min-rps failure, got %v", err)
+	}
+}
+
+// TestRunRejectsBadTarget: a dead target fails at warm-up, before any
+// load is generated.
+func TestRunRejectsBadTarget(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-addr", "http://127.0.0.1:1",
+		"-duration", "100ms",
+	}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "warm-up") {
+		t.Errorf("want warm-up failure, got %v", err)
+	}
+}
+
+// TestRunRejectsBadSpec: spec errors are usage errors, not traffic.
+func TestRunRejectsBadSpec(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-spec", "nonsense:9"}, &stdout, &stderr); err == nil {
+		t.Error("bad spec must fail")
+	}
+	if err := run([]string{"-concurrency", "0"}, &stdout, &stderr); err == nil {
+		t.Error("zero concurrency must fail")
+	}
+	if err := run([]string{"positional"}, &stdout, &stderr); err == nil {
+		t.Error("positional arguments must be rejected")
+	}
+}
+
+// TestPercentileNearestRank pins the percentile convention.
+func TestPercentileNearestRank(t *testing.T) {
+	sample := make([]time.Duration, 100)
+	for i := range sample {
+		sample[i] = time.Duration(i+1) * time.Millisecond
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.0, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := percentile(sample, c.q); got != c.want {
+			t.Errorf("p%.0f = %v, want %v", c.q*100, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty sample: %v", got)
+	}
+	if got := percentile(sample[:1], 0.01); got != time.Millisecond {
+		t.Errorf("rank floor: %v", got)
+	}
+}
+
+// TestWarmupStatusFailure: a structured API rejection at warm-up (bad k)
+// is surfaced with its status.
+func TestWarmupStatusFailure(t *testing.T) {
+	ts := startTarget(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-spec", "path:4",
+		"-k", "99",
+		"-duration", "100ms",
+	}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "status 422") {
+		t.Errorf("want warm-up 422 failure, got %v", err)
+	}
+}

@@ -5,6 +5,53 @@ import (
 	"testing"
 )
 
+// FuzzParseGraph6: the graph6 decoder must never panic, and must be
+// strict enough that Parse→Format→Parse is the identity: any accepted
+// string re-encodes byte-identically (after trimming the optional header
+// and whitespace), and the re-parse reproduces the same graph. Strictness
+// is load-bearing — graph6 strings key the structure and solve-response
+// caches, so two spellings of one graph would split cache entries.
+func FuzzParseGraph6(f *testing.F) {
+	seeds := []string{
+		"", "@", "A_", "Bw", "Bg", "D??", ">>graph6<<Bw\n",
+		"Ao",   // nonzero padding
+		"~??B?", // non-canonical long form
+		"~~~~", "~A", "A__", "\x01_",
+		"~?@?" + strings.Repeat("?", 326),   // long-form n=64, empty graph
+		"IsP@PGXD_", // Petersen
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseGraph6(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		enc, err := FormatGraph6(g)
+		if err != nil {
+			t.Fatalf("accepted graph failed to re-encode: %v", err)
+		}
+		trimmed := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(input), ">>graph6<<"))
+		if enc != trimmed {
+			t.Fatalf("Parse→Format is not the identity: %q re-encodes as %q", trimmed, enc)
+		}
+		back, err := ParseGraph6(enc)
+		if err != nil {
+			t.Fatalf("re-encoded form rejected: %v", err)
+		}
+		if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: (%d,%d) -> (%d,%d)",
+				g.NumVertices(), g.NumEdges(), back.NumVertices(), back.NumEdges())
+		}
+		for _, e := range g.Edges() {
+			if !back.HasEdge(e.U, e.V) {
+				t.Fatalf("round trip dropped edge %v", e)
+			}
+		}
+	})
+}
+
 // FuzzParse: the edge-list parser must never panic and must only produce
 // graphs that re-encode to something it can parse back.
 func FuzzParse(f *testing.F) {

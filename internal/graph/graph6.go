@@ -20,7 +20,13 @@ import (
 var ErrBadGraph6 = errors.New("graph: malformed graph6")
 
 // ParseGraph6 decodes a single graph6 line (surrounding whitespace and an
-// optional ">>graph6<<" header are tolerated).
+// optional ">>graph6<<" header are tolerated). Parsing is strict: the
+// vertex count must use its canonical header form, the byte count must
+// match exactly, and padding bits in the final adjacency byte must be
+// zero, so every accepted string satisfies FormatGraph6(ParseGraph6(s)) ==
+// s (after trimming). Strictness matters beyond hygiene — graph6 strings
+// key the structure and response caches, and a lax parser would let one
+// graph hide under several keys.
 func ParseGraph6(s string) (*Graph, error) {
 	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), ">>graph6<<"))
 	if s == "" {
@@ -43,6 +49,16 @@ func ParseGraph6(s string) (*Graph, error) {
 		}
 		n = int(data[1]-63)<<12 | int(data[2]-63)<<6 | int(data[3]-63)
 		pos = 4
+		// The long form is only canonical for 63 <= n <= 258047: smaller
+		// counts must use the one-byte header, and larger ones the 8-byte
+		// form we reject above. Accepting the non-canonical encodings would
+		// break Format∘Parse = identity (the fuzzed round-trip contract)
+		// and let one graph hide under several cache keys.
+		// (n > 258047 is unreachable here: its second header byte would be
+		// '~', which the 8-byte branch above already rejects.)
+		if n <= 62 {
+			return nil, fmt.Errorf("%w: non-canonical long-form header for n=%d (short form required)", ErrBadGraph6, n)
+		}
 	default:
 		n = int(data[0] - 63)
 		pos = 1
@@ -52,6 +68,14 @@ func ParseGraph6(s string) (*Graph, error) {
 	if len(data)-pos != bytesNeeded {
 		return nil, fmt.Errorf("%w: want %d adjacency bytes for n=%d, got %d",
 			ErrBadGraph6, bytesNeeded, n, len(data)-pos)
+	}
+	// The last adjacency byte's bits beyond x(n-2,n-1) are padding and must
+	// be zero — trailing garbage bits would otherwise parse as a valid graph
+	// and defeat the Format∘Parse = identity round trip.
+	if pad := bytesNeeded*6 - bitsNeeded; pad > 0 {
+		if last := data[pos+bytesNeeded-1] - 63; last&(1<<uint(pad)-1) != 0 {
+			return nil, fmt.Errorf("%w: nonzero padding bits in final adjacency byte", ErrBadGraph6)
+		}
 	}
 	g := New(n)
 	bit := 0

@@ -52,10 +52,33 @@ func TestParseGraph6Errors(t *testing.T) {
 		"\x01_",     // byte below 63
 		"~A",        // truncated extended count
 		"A\x7f\x20", // out-of-range bytes
+		"Ao",        // nonzero padding bits (n=2 uses 1 of 6 bits)
+		"Bx",        // nonzero padding bits (n=3 uses 3 of 6 bits)
+		"~??B?",     // non-canonical long-form header for n=3
+		"~??aFE",    // non-canonical long-form header for n=34
+		"~~~~",      // 8-byte vertex count (also any claimed n > 258047)
 	}
 	for _, s := range bad {
 		if _, err := ParseGraph6(s); !errors.Is(err, ErrBadGraph6) {
 			t.Errorf("ParseGraph6(%q) = %v, want ErrBadGraph6", s, err)
+		}
+	}
+}
+
+// TestParseGraph6LongFormTrailing pins the regression the service cache
+// depends on: a valid long-form (n >= 63) encoding followed by trailing
+// bytes must be rejected, not silently reinterpreted.
+func TestParseGraph6LongFormTrailing(t *testing.T) {
+	enc, err := FormatGraph6(Path(63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseGraph6(enc); err != nil {
+		t.Fatalf("canonical long-form encoding rejected: %v", err)
+	}
+	for _, suffix := range []string{"?", "A", "~~~"} {
+		if _, err := ParseGraph6(enc + suffix); !errors.Is(err, ErrBadGraph6) {
+			t.Errorf("ParseGraph6(valid+%q) = %v, want ErrBadGraph6", suffix, err)
 		}
 	}
 }

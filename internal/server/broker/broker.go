@@ -1,0 +1,186 @@
+// Package broker is the admission-control layer of the solve service: a
+// bounded worker pool with an explicit queue in front of it, so the
+// expensive exact solvers can never be stampeded by request traffic.
+//
+// Each submission carries its own context and a private, buffered result
+// channel (the per-request command-channel pattern): workers deliver
+// without blocking, callers wait however they like — synchronously with a
+// timeout, or from a job goroutine after the HTTP handler has already
+// returned a 202. Backpressure is explicit and immediate: a full queue
+// rejects with ErrQueueFull at submit time (the handler turns that into a
+// 429 with Retry-After) instead of stacking unbounded goroutines, and a
+// request whose deadline expires while queued is abandoned without ever
+// occupying a worker.
+//
+// Accounting invariant, asserted by the race suite: every submission that
+// Submit accepts is eventually resolved exactly once —
+//
+//	broker.submitted == broker.completed + broker.failed + broker.cancelled
+//
+// after the broker drains, and Shutdown leaks no goroutines.
+package broker
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/defender-game/defender/internal/obs"
+)
+
+// Sentinel errors of the admission path.
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue is at
+	// capacity; callers should shed load (HTTP 429).
+	ErrQueueFull = errors.New("broker: queue full")
+	// ErrClosed is returned by Submit after Shutdown has begun.
+	ErrClosed = errors.New("broker: shut down")
+)
+
+// Broker-level metrics (catalogued in OBSERVABILITY.md).
+var (
+	submitted  = obs.Default().Counter("broker.submitted")
+	rejected   = obs.Default().Counter("broker.rejected")
+	completed  = obs.Default().Counter("broker.completed")
+	failed     = obs.Default().Counter("broker.failed")
+	cancelled  = obs.Default().Counter("broker.cancelled")
+	queueDepth = obs.Default().Gauge("broker.queue_depth")
+	workersG   = obs.Default().Gauge("broker.workers")
+	waitHist   = obs.Default().Histogram("broker.wait_seconds")
+	runHist    = obs.Default().Histogram("broker.run_seconds")
+)
+
+// Task is one unit of work. The context is the submission's context;
+// long tasks should check it at stage boundaries.
+type Task func(ctx context.Context) (any, error)
+
+// Result is a task's terminal outcome, delivered on the per-request
+// channel exactly once.
+type Result struct {
+	Value any
+	Err   error
+}
+
+// request pairs a task with its private delivery channel.
+type request struct {
+	ctx      context.Context
+	task     Task
+	out      chan Result // buffered 1: delivery never blocks a worker
+	enqueued time.Time
+}
+
+// Broker is a bounded worker pool. Construct with New; the zero value is
+// not usable.
+type Broker struct {
+	queue chan *request
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New starts a broker with the given worker count and queue capacity.
+// Both are clamped to at least 1.
+func New(workers, queueCap int) *Broker {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	b := &Broker{queue: make(chan *request, queueCap)}
+	workersG.Set(float64(workers))
+	for i := 0; i < workers; i++ {
+		b.wg.Add(1)
+		go b.worker()
+	}
+	return b
+}
+
+// Submit enqueues task and returns its private result channel. The
+// channel receives exactly one Result — the task's outcome, or the
+// context's error if the deadline expired while the request was still
+// queued. Submit itself never blocks: a full queue returns ErrQueueFull
+// and a closed broker ErrClosed, and in both cases no channel is handed
+// out (nothing will ever be delivered).
+func (b *Broker) Submit(ctx context.Context, task Task) (<-chan Result, error) {
+	req := &request{ctx: ctx, task: task, out: make(chan Result, 1), enqueued: time.Now()}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		rejected.Inc()
+		return nil, ErrClosed
+	}
+	select {
+	case b.queue <- req:
+		// Enqueued under the lock so Shutdown cannot close the queue
+		// between the closed check and the send.
+		b.mu.Unlock()
+		submitted.Inc()
+		queueDepth.Set(float64(len(b.queue)))
+		return req.out, nil
+	default:
+		b.mu.Unlock()
+		rejected.Inc()
+		return nil, ErrQueueFull
+	}
+}
+
+// QueueDepth reports the number of requests currently waiting for a
+// worker.
+func (b *Broker) QueueDepth() int { return len(b.queue) }
+
+// worker drains the queue until Shutdown closes it. Every dequeued
+// request is resolved exactly once: expired requests are cancelled
+// without running, everything else runs to completion (tasks observe
+// their context at their own boundaries).
+func (b *Broker) worker() {
+	defer b.wg.Done()
+	for req := range b.queue {
+		queueDepth.Set(float64(len(b.queue)))
+		waitHist.Observe(time.Since(req.enqueued).Seconds())
+		if err := req.ctx.Err(); err != nil {
+			cancelled.Inc()
+			req.out <- Result{Err: err}
+			continue
+		}
+		start := time.Now()
+		v, err := req.task(req.ctx)
+		runHist.Observe(time.Since(start).Seconds())
+		switch {
+		case err == nil:
+			completed.Inc()
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			cancelled.Inc()
+		default:
+			failed.Inc()
+		}
+		req.out <- Result{Value: v, Err: err}
+	}
+}
+
+// Shutdown stops admission immediately and waits — up to ctx — for the
+// workers to drain the queue. Requests already accepted are still
+// resolved (run, or cancelled if their own context has expired), so no
+// per-request channel is ever left undelivered. Shutdown is idempotent.
+func (b *Broker) Shutdown(ctx context.Context) error {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.queue)
+	}
+	b.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		b.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		workersG.Set(0)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzServeSolve drives arbitrary bodies through the full HTTP decode and
+// validation path of POST /v1/solve and asserts the two contract
+// invariants the clients of this API lean on:
+//
+//  1. the handler never panics, whatever the body holds — hostile JSON,
+//     hostile graph6, absurd n/k/attackers;
+//  2. every non-200 response carries the structured ErrorBody with a
+//     non-empty machine-readable code and human-readable message (200s
+//     and 202s carry their own documented shapes).
+//
+// The server is configured small (32-vertex cap, tight sync wait) so the
+// fuzzer spends its budget on the decode path, not on big solves.
+func FuzzServeSolve(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`not json at all`,
+		`{"n":4,"edges":[[0,1],[1,2],[2,3],[0,3]],"k":1}`,
+		`{"n":6,"edges":[[0,1],[1,2],[2,3],[3,4],[4,5],[0,5]],"k":2,"attackers":4}`,
+		`{"graph6":"Bw","k":1}`,
+		`{"graph6":"IsP@PGXD_","k":3}`,
+		`{"graph6":"~~~~","k":1}`,
+		`{"graph6":"Ao","k":1}`,
+		`{"graph6":">>graph6<<Bw\n","k":1}`,
+		`{"n":-1,"edges":[[0,1]],"k":1}`,
+		`{"n":2,"edges":[[1,1]],"k":1}`,
+		`{"n":2,"edges":[[0,1]],"k":0}`,
+		`{"n":2,"edges":[[0,1]],"k":-5,"attackers":-5}`,
+		`{"n":9999999,"edges":[[0,1]],"k":1}`,
+		`{"n":2,"edges":[[0,1]],"k":1,"timeout_ms":-1}`,
+		`{"n":2,"edges":[[0,1]],"k":1,"unknown_field":true}`,
+		`{"n":2,"edges":[[0,1]],"k":1} trailing`,
+		`{"graph6":"Bw","n":3,"edges":[[0,1]],"k":1}`,
+		`{"k":1}`,
+		`[1,2,3]`,
+		`"just a string"`,
+		`{"n":3,"edges":[[0,1],[1,2],[0,2]],"k":18446744073709551615}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	srv := New(Config{
+		Workers:      2,
+		QueueCap:     64,
+		SyncWait:     5 * time.Second,
+		SolveTimeout: 2 * time.Second,
+		MaxVertices:  32,
+	})
+	f.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Close(ctx)
+	})
+	h := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/solve", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req) // a panic here fails the fuzz run
+
+		if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type %q for body %q", ct, body)
+		}
+		switch w.Code {
+		case http.StatusOK:
+			var resp SolveResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil || resp.Result == nil {
+				t.Fatalf("malformed 200 body (%v): %s", err, w.Body.String())
+			}
+		case http.StatusAccepted:
+			var js JobStatus
+			if err := json.Unmarshal(w.Body.Bytes(), &js); err != nil || js.ID == "" || js.Poll == "" {
+				t.Fatalf("malformed 202 body (%v): %s", err, w.Body.String())
+			}
+		default:
+			var eb ErrorBody
+			if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil {
+				t.Fatalf("non-200 response %d is not a structured error (%v): %s",
+					w.Code, err, w.Body.String())
+			}
+			if eb.Error.Code == "" || eb.Error.Message == "" {
+				t.Fatalf("non-200 response %d missing code/message: %s", w.Code, w.Body.String())
+			}
+		}
+	})
+}

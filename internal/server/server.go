@@ -1,0 +1,281 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/obs"
+	"github.com/defender-game/defender/internal/server/broker"
+)
+
+// Request-path metrics (catalogued in OBSERVABILITY.md). Accounting law,
+// asserted by the handler tests: solve.requests == solve.ok +
+// solve.accepted + solve.rejected + solve.errors once the server is
+// quiescent.
+var (
+	solveRequests = obs.Default().Counter("server.solve.requests")
+	solveOK       = obs.Default().Counter("server.solve.ok")
+	solveAccepted = obs.Default().Counter("server.solve.accepted")
+	solveRejected = obs.Default().Counter("server.solve.rejected")
+	solveErrors   = obs.Default().Counter("server.solve.errors")
+	jobsRequests  = obs.Default().Counter("server.jobs.requests")
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// production default.
+type Config struct {
+	// Workers is the broker pool size (default 4): the maximum number of
+	// concurrent solves.
+	Workers int
+	// QueueCap bounds the broker queue (default 64); a full queue sheds
+	// load as 429 + Retry-After.
+	QueueCap int
+	// SyncWait is how long POST /v1/solve waits for the result before
+	// converting to a 202 job handle (default 2s).
+	SyncWait time.Duration
+	// SolveTimeout is the per-solve deadline (default 60s); a request's
+	// timeout_ms may lower it but never raise it.
+	SolveTimeout time.Duration
+	// JobTTL is how long finished jobs stay pollable (default 10m).
+	JobTTL time.Duration
+	// MaxVertices caps accepted graphs (default 256): the exact solvers
+	// are built for instance sizes where exactness is tractable.
+	MaxVertices int
+	// MaxBodyBytes caps the request body (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+	if c.SyncWait == 0 {
+		c.SyncWait = 2 * time.Second
+	}
+	if c.SolveTimeout == 0 {
+		c.SolveTimeout = 60 * time.Second
+	}
+	if c.JobTTL == 0 {
+		c.JobTTL = 10 * time.Minute
+	}
+	if c.MaxVertices == 0 {
+		c.MaxVertices = 256
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server is the defender solve service: an http.Handler plus the broker,
+// response cache and job store behind it. Construct with New, serve
+// Handler(), and Close on the way out.
+type Server struct {
+	cfg    Config
+	broker *broker.Broker
+	cache  *solveCache
+	jobs   *jobStore
+	mux    *http.ServeMux
+
+	// solveFn is the instance solver; tests swap it to script slow or
+	// failing solves deterministically.
+	solveFn func(ctx context.Context, g *graph.Graph, g6 string, k, attackers int) (*SolveResult, error)
+}
+
+// New builds a Server from cfg (zero fields defaulted).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		broker:  broker.New(cfg.Workers, cfg.QueueCap),
+		cache:   newSolveCache(),
+		jobs:    newJobStore(cfg.JobTTL),
+		solveFn: solve,
+	}
+	s.mux = http.NewServeMux()
+	// Methods are checked inside the handlers so that 405s carry the
+	// same structured error body as every other non-2xx response.
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, errBad(http.StatusNotFound, CodeNotFound, "no such route %s", r.URL.Path))
+	})
+	return s
+}
+
+// Handler returns the public API handler. Debug surfaces (/metrics,
+// pprof) live on the separate mux of obs.NewDebugMux, bound privately by
+// cmd/defenderd.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops admission and waits for in-flight solves, bounded by ctx.
+func (s *Server) Close(ctx context.Context) error {
+	return s.broker.Shutdown(ctx)
+}
+
+// writeError emits the structured non-2xx contract body.
+func writeError(w http.ResponseWriter, e *apiError) {
+	writeJSON(w, e.status, ErrorBody{Error: ErrorInfo{Code: e.code, Message: e.message}})
+}
+
+// solveError counts and writes a solve-path failure.
+func solveError(w http.ResponseWriter, e *apiError) {
+	solveErrors.Inc()
+	writeError(w, e)
+}
+
+// handleSolve implements POST /v1/solve: decode → cache fast path →
+// broker admission → bounded synchronous wait → 200, or a 202 job
+// handle whose completion a goroutine records from the broker's
+// per-request channel.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, errBad(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			"use POST %s", r.URL.Path))
+		return
+	}
+	solveRequests.Inc()
+	start := time.Now()
+	sp := obs.Default().StartSpan("server.solve")
+	defer sp.End()
+
+	req, apiErr := decodeSolveRequest(w, r, s.cfg.MaxBodyBytes)
+	if apiErr != nil {
+		sp.Annotate("outcome", "bad_request")
+		solveError(w, apiErr)
+		return
+	}
+	drainBody(r)
+	g, g6, apiErr := buildGraph(req, s.cfg.MaxVertices)
+	if apiErr != nil {
+		sp.Annotate("outcome", "bad_request")
+		solveError(w, apiErr)
+		return
+	}
+	sp.Annotate("graph6", g6)
+	sp.Annotate("k", strconv.Itoa(req.K))
+
+	key := g6 + "|k=" + strconv.Itoa(req.K) + "|nu=" + strconv.Itoa(req.Attackers)
+	if res, ok := s.cache.Lookup(key); ok {
+		sp.Annotate("outcome", "cache_hit")
+		solveOK.Inc()
+		writeJSON(w, http.StatusOK, SolveResponse{Result: res, Cached: true, SolveMS: msSince(start)})
+		return
+	}
+
+	timeout := s.cfg.SolveTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	// The solve's context is detached from the HTTP request's: a 202
+	// conversion outlives this handler, and a poller still wants the
+	// result after the submitting client hangs up. The deadline bounds
+	// abandoned work.
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ch, err := s.broker.Submit(ctx, func(ctx context.Context) (any, error) {
+		return s.cache.Do(ctx, key, func() (*SolveResult, error) {
+			return s.solveFn(ctx, g, g6, req.K, req.Attackers)
+		})
+	})
+	if err != nil {
+		cancel()
+		sp.Annotate("outcome", "rejected")
+		solveRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		code := CodeQueueFull
+		if errors.Is(err, broker.ErrClosed) {
+			code = CodeInternal
+		}
+		writeError(w, errBad(http.StatusTooManyRequests, code, "%v", err))
+		return
+	}
+
+	select {
+	case res := <-ch:
+		cancel()
+		s.respondSolved(w, sp, res, start)
+	case <-time.After(s.cfg.SyncWait):
+		id := s.jobs.create()
+		go func() {
+			defer cancel()
+			res := <-ch
+			if res.Err != nil {
+				s.jobs.complete(id, nil, solveErr(res.Err))
+				return
+			}
+			s.jobs.complete(id, res.Value.(*SolveResult), nil)
+		}()
+		sp.Annotate("outcome", "accepted")
+		solveAccepted.Inc()
+		poll := "/v1/jobs/" + id
+		w.Header().Set("Location", poll)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusAccepted, JobStatus{ID: id, Status: JobPending, Poll: poll})
+	}
+}
+
+// respondSolved writes the synchronous outcome of a broker result.
+func (s *Server) respondSolved(w http.ResponseWriter, sp obs.Span, res broker.Result, start time.Time) {
+	if res.Err != nil {
+		sp.Annotate("outcome", "error")
+		solveError(w, solveErr(res.Err))
+		return
+	}
+	sp.Annotate("outcome", "ok")
+	solveOK.Inc()
+	writeJSON(w, http.StatusOK, SolveResponse{
+		Result:  res.Value.(*SolveResult),
+		SolveMS: msSince(start),
+	})
+}
+
+// handleJob implements GET /v1/jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, errBad(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			"use GET %s", r.URL.Path))
+		return
+	}
+	jobsRequests.Inc()
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, errBad(http.StatusNotFound, CodeNotFound, "no such job"))
+		return
+	}
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, errBad(http.StatusNotFound, CodeNotFound, "unknown or expired job %q", id))
+		return
+	}
+	status := JobStatus{ID: j.id, Status: j.status, Poll: "/v1/jobs/" + j.id}
+	switch j.status {
+	case JobPending:
+		w.Header().Set("Retry-After", "1")
+	case JobDone:
+		status.Result = j.result
+	case JobFailed:
+		status.Error = &ErrorInfo{Code: j.apiErr.code, Message: j.apiErr.message}
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+// handleHealthz is the liveness probe cmd/defenderd's boot (and the
+// loadtest harness) waits on.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}

@@ -1,0 +1,573 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/obs"
+)
+
+// TestMain enables the default registry: the accounting tests read the
+// server.* counters, and running the whole suite with metrics on proves
+// recording never changes responses.
+func TestMain(m *testing.M) {
+	obs.Default().SetEnabled(true)
+	m.Run()
+}
+
+// newTestServer builds a server with fast test defaults; callers may
+// mutate cfg via the variadic tweak.
+func newTestServer(t *testing.T, tweaks ...func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{Workers: 2, QueueCap: 16, SyncWait: 30 * time.Second, SolveTimeout: 30 * time.Second, MaxVertices: 64}
+	for _, tw := range tweaks {
+		tw(&cfg)
+	}
+	s := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return s
+}
+
+// do runs one request through the handler without a network hop.
+func do(s *Server, method, path, body string) *httptest.ResponseRecorder {
+	var rd *bytes.Reader
+	if body == "" {
+		rd = bytes.NewReader(nil)
+	} else {
+		rd = bytes.NewReader([]byte(body))
+	}
+	req := httptest.NewRequest(method, path, rd)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func decodeSolve(t *testing.T, w *httptest.ResponseRecorder) SolveResponse {
+	t.Helper()
+	var resp SolveResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding solve response: %v\nbody: %s", err, w.Body.String())
+	}
+	return resp
+}
+
+func decodeError(t *testing.T, w *httptest.ResponseRecorder) ErrorBody {
+	t.Helper()
+	var eb ErrorBody
+	if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil {
+		t.Fatalf("decoding error body: %v\nbody: %s", err, w.Body.String())
+	}
+	return eb
+}
+
+func counterDelta(names []string, fn func()) map[string]uint64 {
+	before := make(map[string]uint64, len(names))
+	for _, n := range names {
+		before[n] = obs.Default().Counter(n).Value()
+	}
+	fn()
+	d := make(map[string]uint64, len(names))
+	for _, n := range names {
+		d[n] = obs.Default().Counter(n).Value() - before[n]
+	}
+	return d
+}
+
+func TestSolveCycleKMatching(t *testing.T) {
+	s := newTestServer(t)
+	w := do(s, http.MethodPost, "/v1/solve",
+		`{"n":6,"edges":[[0,1],[1,2],[2,3],[3,4],[4,5],[0,5]],"k":2,"attackers":4}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeSolve(t, w)
+	r := resp.Result
+	if r == nil {
+		t.Fatal("nil result")
+	}
+	if r.N != 6 || r.M != 6 || r.K != 2 || r.Attackers != 4 {
+		t.Errorf("instance echo wrong: %+v", r)
+	}
+	if r.Rho != 3 || r.PureNE {
+		t.Errorf("C6: rho=%d pure=%v, want rho=3 pure=false at k=2", r.Rho, r.PureNE)
+	}
+	if r.MixedNE == nil || r.MixedNE.Family != "k-matching" {
+		t.Fatalf("expected a k-matching NE, got %+v", r.MixedNE)
+	}
+	// C6 at k=2: the attacker support is the size-3 independent set, the
+	// arrest probability k/|E(D(tp))| = 2/3, defender gain k·ν/|IS| = 8/3.
+	if r.MixedNE.HitProbability != "2/3" {
+		t.Errorf("hit probability = %q, want 2/3", r.MixedNE.HitProbability)
+	}
+	if r.MixedNE.DefenderGain != "8/3" {
+		t.Errorf("defender gain = %q, want 8/3", r.MixedNE.DefenderGain)
+	}
+	if r.GameValue != "2/3" || r.GameValueSource != "lp" {
+		t.Errorf("game value = %q (%s), want 2/3 from lp", r.GameValue, r.GameValueSource)
+	}
+	if resp.Cached {
+		t.Error("first solve reported cached")
+	}
+	if len(r.MixedNE.Tuples) != r.MixedNE.TupleCount || len(r.MixedNE.TupleProbs) != r.MixedNE.TupleCount {
+		t.Errorf("tuple rendering mismatch: %d tuples, %d probs, count %d",
+			len(r.MixedNE.Tuples), len(r.MixedNE.TupleProbs), r.MixedNE.TupleCount)
+	}
+	if r.Graph6 == "" {
+		t.Error("missing canonical graph6 echo")
+	}
+}
+
+// TestSolveCacheSharedAcrossSpellings: the same graph submitted as an
+// edge list and as graph6 hits one cache entry, and the hit is flagged.
+func TestSolveCacheSharedAcrossSpellings(t *testing.T) {
+	s := newTestServer(t)
+	body1 := `{"n":4,"edges":[[0,1],[1,2],[2,3],[0,3]],"k":1}`
+	w := do(s, http.MethodPost, "/v1/solve", body1)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	first := decodeSolve(t, w)
+	if first.Cached {
+		t.Fatal("first request cached")
+	}
+	g6 := first.Result.Graph6
+
+	d := counterDelta([]string{"server.cache.hits", "server.cache.misses"}, func() {
+		w = do(s, http.MethodPost, "/v1/solve", fmt.Sprintf(`{"graph6":%q,"k":1}`, g6))
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	second := decodeSolve(t, w)
+	if !second.Cached {
+		t.Error("graph6 spelling of a solved graph missed the cache")
+	}
+	if d["server.cache.hits"] != 1 || d["server.cache.misses"] != 0 {
+		t.Errorf("cache counters: %v", d)
+	}
+	a, b := first.Result, second.Result
+	if a.GameValue != b.GameValue || a.Rho != b.Rho {
+		t.Errorf("cached result drifted: %+v vs %+v", a, b)
+	}
+	// Different k is a different entry.
+	w = do(s, http.MethodPost, "/v1/solve", fmt.Sprintf(`{"graph6":%q,"k":2}`, g6))
+	if w.Code != http.StatusOK || decodeSolve(t, w).Cached {
+		t.Errorf("k=2 must be a fresh solve (status %d)", w.Code)
+	}
+}
+
+func TestSolveValidationErrors(t *testing.T) {
+	s := newTestServer(t)
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"empty body", ``, http.StatusBadRequest, CodeBadRequest},
+		{"malformed json", `{"n":4`, http.StatusBadRequest, CodeBadRequest},
+		{"unknown field", `{"n":3,"edges":[[0,1],[1,2]],"k":1,"bogus":true}`, http.StatusBadRequest, CodeBadRequest},
+		{"trailing data", `{"n":3,"edges":[[0,1],[1,2]],"k":1} {}`, http.StatusBadRequest, CodeBadRequest},
+		{"no graph", `{"k":1}`, http.StatusBadRequest, CodeBadRequest},
+		{"both graphs", `{"graph6":"Bw","n":3,"edges":[[0,1]],"k":1}`, http.StatusBadRequest, CodeBadRequest},
+		{"bad graph6", `{"graph6":"~~~~","k":1}`, http.StatusBadRequest, CodeBadGraph6},
+		{"graph6 padding garbage", `{"graph6":"Ao","k":1}`, http.StatusBadRequest, CodeBadGraph6},
+		{"self loop", `{"n":2,"edges":[[1,1]],"k":1}`, http.StatusBadRequest, CodeBadGraph},
+		{"edge out of range", `{"n":2,"edges":[[0,5]],"k":1}`, http.StatusBadRequest, CodeBadGraph},
+		{"negative n", `{"n":-2,"edges":[[0,1]],"k":1}`, http.StatusBadRequest, CodeBadGraph},
+		{"graph too large", `{"n":65,"edges":[[0,1]],"k":1}`, http.StatusUnprocessableEntity, CodeGraphTooLarge},
+		{"isolated vertex", `{"n":3,"edges":[[0,1]],"k":1}`, http.StatusUnprocessableEntity, CodeIsolatedVertex},
+		{"k zero", `{"n":2,"edges":[[0,1]],"k":0}`, http.StatusUnprocessableEntity, CodeBadK},
+		{"k over m", `{"n":2,"edges":[[0,1]],"k":5}`, http.StatusUnprocessableEntity, CodeBadK},
+		{"bad attackers", `{"n":2,"edges":[[0,1]],"k":1,"attackers":-3}`, http.StatusUnprocessableEntity, CodeBadAttackers},
+		{"negative timeout", `{"n":2,"edges":[[0,1]],"k":1,"timeout_ms":-1}`, http.StatusBadRequest, CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := counterDelta([]string{"server.solve.errors"}, func() {
+				w := do(s, http.MethodPost, "/v1/solve", tc.body)
+				if w.Code != tc.wantStatus {
+					t.Fatalf("status %d, want %d (%s)", w.Code, tc.wantStatus, w.Body.String())
+				}
+				eb := decodeError(t, w)
+				if eb.Error.Code != tc.wantCode {
+					t.Errorf("code %q, want %q", eb.Error.Code, tc.wantCode)
+				}
+				if eb.Error.Message == "" {
+					t.Error("empty error message")
+				}
+			})
+			if d["server.solve.errors"] != 1 {
+				t.Errorf("solve.errors moved by %d, want 1", d["server.solve.errors"])
+			}
+		})
+	}
+}
+
+func TestBodyTooLarge(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 128 })
+	w := do(s, http.MethodPost, "/v1/solve",
+		`{"n":4,"edges":[[0,1],[1,2],[2,3],[0,3]],"k":1,"graph6":"`+strings.Repeat("x", 200)+`"}`)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", w.Code)
+	}
+	if eb := decodeError(t, w); eb.Error.Code != CodeBodyTooLarge {
+		t.Errorf("code %q", eb.Error.Code)
+	}
+}
+
+func TestMethodAndRouteContract(t *testing.T) {
+	s := newTestServer(t)
+	cases := []struct {
+		method, path string
+		wantStatus   int
+		wantCode     string
+	}{
+		{http.MethodGet, "/v1/solve", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+		{http.MethodDelete, "/v1/solve", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+		{http.MethodPost, "/v1/jobs/j00000001", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+		{http.MethodGet, "/v1/jobs/nope", http.StatusNotFound, CodeNotFound},
+		{http.MethodGet, "/v1/jobs/", http.StatusNotFound, CodeNotFound},
+		{http.MethodGet, "/v1/jobs/a/b", http.StatusNotFound, CodeNotFound},
+		{http.MethodGet, "/nope", http.StatusNotFound, CodeNotFound},
+		{http.MethodGet, "/", http.StatusNotFound, CodeNotFound},
+	}
+	for _, tc := range cases {
+		w := do(s, tc.method, tc.path, "")
+		if w.Code != tc.wantStatus {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, w.Code, tc.wantStatus)
+			continue
+		}
+		if eb := decodeError(t, w); eb.Error.Code != tc.wantCode {
+			t.Errorf("%s %s: code %q, want %q", tc.method, tc.path, eb.Error.Code, tc.wantCode)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t)
+	w := do(s, http.MethodGet, "/healthz", "")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "ok") {
+		t.Errorf("healthz: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// TestAsyncJobFlow scripts the 202 contract with a gated solve: submit →
+// 202 + Location, poll pending with Retry-After, release, poll done with
+// the real result.
+func TestAsyncJobFlow(t *testing.T) {
+	release := make(chan struct{})
+	s := newTestServer(t, func(c *Config) { c.SyncWait = 10 * time.Millisecond })
+	inner := s.solveFn
+	s.solveFn = func(ctx context.Context, g *graph.Graph, g6 string, k, attackers int) (*SolveResult, error) {
+		<-release
+		return inner(ctx, g, g6, k, attackers)
+	}
+
+	w := do(s, http.MethodPost, "/v1/solve", `{"n":4,"edges":[[0,1],[1,2],[2,3],[0,3]],"k":1}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("status %d, want 202: %s", w.Code, w.Body.String())
+	}
+	var js JobStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &js); err != nil {
+		t.Fatal(err)
+	}
+	if js.Status != JobPending || js.ID == "" {
+		t.Fatalf("202 body: %+v", js)
+	}
+	if loc := w.Header().Get("Location"); loc != js.Poll {
+		t.Errorf("Location %q != poll %q", loc, js.Poll)
+	}
+
+	w = do(s, http.MethodGet, js.Poll, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("poll status %d", w.Code)
+	}
+	var pending JobStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &pending); err != nil {
+		t.Fatal(err)
+	}
+	if pending.Status != JobPending {
+		t.Fatalf("pending poll: %+v", pending)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("pending poll missing Retry-After")
+	}
+
+	close(release)
+	deadline := time.After(10 * time.Second)
+	var done JobStatus
+	for done.Status != JobDone {
+		select {
+		case <-deadline:
+			t.Fatalf("job never completed: %+v", done)
+		case <-time.After(5 * time.Millisecond):
+		}
+		w = do(s, http.MethodGet, js.Poll, "")
+		if err := json.Unmarshal(w.Body.Bytes(), &done); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if done.Result == nil || done.Result.MixedNE == nil || done.Result.GameValue != "1/2" {
+		t.Errorf("C4 k=1 job result: %+v", done.Result)
+	}
+	// The async result is cached like a sync one.
+	w = do(s, http.MethodPost, "/v1/solve", `{"n":4,"edges":[[0,1],[1,2],[2,3],[0,3]],"k":1}`)
+	if w.Code != http.StatusOK || !decodeSolve(t, w).Cached {
+		t.Errorf("async-solved graph should hit the cache (status %d)", w.Code)
+	}
+}
+
+// TestAsyncJobFailure: a failing solve surfaces as a failed job with the
+// structured error, not a hung handle.
+func TestAsyncJobFailure(t *testing.T) {
+	boom := fmt.Errorf("synthetic failure")
+	s := newTestServer(t, func(c *Config) { c.SyncWait = time.Millisecond })
+	s.solveFn = func(ctx context.Context, g *graph.Graph, g6 string, k, attackers int) (*SolveResult, error) {
+		time.Sleep(20 * time.Millisecond)
+		return nil, boom
+	}
+	w := do(s, http.MethodPost, "/v1/solve", `{"n":2,"edges":[[0,1]],"k":1}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", w.Code)
+	}
+	var js JobStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &js); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for js.Status != JobFailed {
+		select {
+		case <-deadline:
+			t.Fatalf("job never failed: %+v", js)
+		case <-time.After(5 * time.Millisecond):
+		}
+		w = do(s, http.MethodGet, js.Poll, "")
+		if err := json.Unmarshal(w.Body.Bytes(), &js); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if js.Error == nil || js.Error.Code != CodeInternal {
+		t.Errorf("failed job error: %+v", js.Error)
+	}
+	// Failures are not cached: the next request solves again.
+	if c := s.cache.Len(); c != 0 {
+		t.Errorf("failed solve was cached (%d entries)", c)
+	}
+}
+
+// TestJobTTLPurge: finished jobs expire after the TTL; pending jobs never
+// do.
+func TestJobTTLPurge(t *testing.T) {
+	s := newTestServer(t)
+	now := time.Now()
+	s.jobs.now = func() time.Time { return now }
+	id := s.jobs.create()
+	s.jobs.complete(id, &SolveResult{Graph6: "A_"}, nil)
+	pendingID := s.jobs.create()
+
+	if _, ok := s.jobs.get(id); !ok {
+		t.Fatal("fresh job missing")
+	}
+	now = now.Add(s.cfg.JobTTL + time.Second)
+	if _, ok := s.jobs.get(id); ok {
+		t.Error("expired job still pollable")
+	}
+	if _, ok := s.jobs.get(pendingID); !ok {
+		t.Error("pending job was purged")
+	}
+	// Unblock the pending handle so Close doesn't wait on it (it has no
+	// broker request in this unit test).
+	s.jobs.complete(pendingID, nil, errBad(http.StatusInternalServerError, CodeInternal, "abandoned"))
+}
+
+// TestSolveTimeout: a request deadline shorter than the solve yields the
+// structured timeout error on the synchronous path.
+func TestSolveTimeout(t *testing.T) {
+	s := newTestServer(t)
+	s.solveFn = func(ctx context.Context, g *graph.Graph, g6 string, k, attackers int) (*SolveResult, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	w := do(s, http.MethodPost, "/v1/solve", `{"n":2,"edges":[[0,1]],"k":1,"timeout_ms":10}`)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", w.Code, w.Body.String())
+	}
+	if eb := decodeError(t, w); eb.Error.Code != CodeTimeout {
+		t.Errorf("code %q", eb.Error.Code)
+	}
+}
+
+// TestQueueFullSheds: with one wedged worker and a one-slot queue,
+// further distinct-graph requests get 429 + Retry-After.
+func TestQueueFullSheds(t *testing.T) {
+	release := make(chan struct{})
+	s := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueCap = 1
+		c.SyncWait = 50 * time.Millisecond
+	})
+	s.solveFn = func(ctx context.Context, g *graph.Graph, g6 string, k, attackers int) (*SolveResult, error) {
+		<-release
+		return &SolveResult{Graph6: g6, N: g.NumVertices(), M: g.NumEdges(), K: k, Attackers: attackers}, nil
+	}
+	defer close(release)
+
+	// Distinct graphs so nothing coalesces: path graphs of growing size.
+	codes := make(chan int, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"n":%d,"edges":[%s],"k":1}`, n, pathEdges(n))
+			w := do(s, http.MethodPost, "/v1/solve", body)
+			codes <- w.Code
+			if w.Code == http.StatusTooManyRequests {
+				if w.Header().Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+				if eb := decodeError(t, w); eb.Error.Code != CodeQueueFull {
+					t.Errorf("429 code %q", eb.Error.Code)
+				}
+			}
+		}(i + 2)
+	}
+	wg.Wait()
+	close(codes)
+	shed := 0
+	for c := range codes {
+		if c == http.StatusTooManyRequests {
+			shed++
+		}
+	}
+	if shed == 0 {
+		t.Error("no request was shed despite a wedged one-slot broker")
+	}
+}
+
+func pathEdges(n int) string {
+	parts := make([]string, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		parts = append(parts, fmt.Sprintf("[%d,%d]", i, i+1))
+	}
+	return strings.Join(parts, ",")
+}
+
+// TestCacheConservationUnderRace is the PR 3 conservation suite lifted to
+// the service: many concurrent clients requesting one graph must observe
+// hits + misses == requests, 1 <= stores <= misses, and the broker's
+// submitted == completed + failed + cancelled — while -race watches the
+// whole path. It also proves coalescing: the solve runs far fewer times
+// than there are requests.
+func TestCacheConservationUnderRace(t *testing.T) {
+	const clients = 12
+	const perClient = 15
+	names := []string{
+		"server.solve.requests", "server.solve.ok", "server.solve.accepted",
+		"server.solve.rejected", "server.solve.errors",
+		"server.cache.hits", "server.cache.misses", "server.cache.stores",
+		"broker.submitted", "broker.completed", "broker.failed", "broker.cancelled",
+	}
+	var solves int32
+	var solvesMu sync.Mutex
+	d := counterDelta(names, func() {
+		s := newTestServer(t, func(c *Config) { c.QueueCap = clients * perClient })
+		inner := s.solveFn
+		s.solveFn = func(ctx context.Context, g *graph.Graph, g6 string, k, attackers int) (*SolveResult, error) {
+			solvesMu.Lock()
+			solves++
+			solvesMu.Unlock()
+			return inner(ctx, g, g6, k, attackers)
+		}
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					w := do(s, http.MethodPost, "/v1/solve", `{"n":6,"edges":[[0,1],[1,2],[2,3],[3,4],[4,5],[0,5]],"k":2}`)
+					if w.Code != http.StatusOK {
+						t.Errorf("status %d: %s", w.Code, w.Body.String())
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		// Drain the broker before reading its counters.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	total := uint64(clients * perClient)
+	if d["server.solve.requests"] != total {
+		t.Errorf("requests = %d, want %d", d["server.solve.requests"], total)
+	}
+	if got := d["server.solve.ok"] + d["server.solve.accepted"] + d["server.solve.rejected"] + d["server.solve.errors"]; got != total {
+		t.Errorf("ok+accepted+rejected+errors = %d, want %d (%v)", got, total, d)
+	}
+	if d["server.cache.hits"]+d["server.cache.misses"] != total {
+		t.Errorf("hits(%d)+misses(%d) != lookups(%d)", d["server.cache.hits"], d["server.cache.misses"], total)
+	}
+	if st := d["server.cache.stores"]; st < 1 || st > d["server.cache.misses"] {
+		t.Errorf("stores = %d, want 1 <= stores <= misses (%d)", st, d["server.cache.misses"])
+	}
+	if d["broker.submitted"] != d["broker.completed"]+d["broker.failed"]+d["broker.cancelled"] {
+		t.Errorf("broker conservation violated: %v", d)
+	}
+	if int(solves) != 1 {
+		t.Errorf("solve ran %d times for one key; coalescing should make it exactly 1", solves)
+	}
+}
+
+// TestServerCloseLeaksNothing: a busy server shuts down without leaking
+// workers or job goroutines.
+func TestServerCloseLeaksNothing(t *testing.T) {
+	before := stableGoroutines(t)
+	s := New(Config{Workers: 4, QueueCap: 32, SyncWait: time.Millisecond, MaxVertices: 64})
+	for i := 0; i < 20; i++ {
+		do(s, http.MethodPost, "/v1/solve", `{"n":5,"edges":[[0,1],[1,2],[2,3],[3,4],[0,4]],"k":1}`)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	after := stableGoroutines(t)
+	if after > before {
+		t.Errorf("goroutine leak: %d before, %d after", before, after)
+	}
+}
+
+func stableGoroutines(t *testing.T) int {
+	t.Helper()
+	last := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		time.Sleep(10 * time.Millisecond)
+		n := runtime.NumGoroutine()
+		if n == last {
+			return n
+		}
+		last = n
+	}
+	return last
+}
