@@ -4,11 +4,11 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test lint vet race bench bench-kernel benchdiff fuzz-smoke linkcheck loadtest check
+.PHONY: all build test lint vet race bench bench-kernel bench-scaling benchdiff fuzz-smoke linkcheck loadtest check
 
 # DOCS is the documentation set linkcheck keeps honest (relative links and
 # heading anchors; see cmd/linkcheck).
-DOCS = README.md DESIGN.md EXPERIMENTS.md OBSERVABILITY.md
+DOCS = README.md DESIGN.md EXPERIMENTS.md OBSERVABILITY.md SCALING.md
 
 all: check
 
@@ -51,6 +51,16 @@ KERNEL_PKGS = ./internal/rat ./internal/lp ./internal/core ./internal/game
 bench-kernel:
 	$(GO) test -run='^$$' -bench=. -count=$(BENCH_REPEAT) $(KERNEL_PKGS) | \
 		$(GO) run ./cmd/benchkernel -out BENCH_kernel.json -history bench/history
+
+# bench-scaling drives the sparse-core pipeline across the 10^3..10^6
+# Barabási–Albert ladder (generate, ρ(G), k-matching NE solve, Theorem 3.4
+# verify per decade) and records the curve as a schema-v2 bench record in
+# bench/history. SCALING.md explains how to read it; CI's scaling-smoke
+# job runs the same ladder capped at 10^4 vertices.
+SCALING_MAX_N ?= 1000000
+bench-scaling:
+	$(GO) run ./cmd/benchkernel -scaling -scaling-max-n $(SCALING_MAX_N) \
+		-scaling-repeat $(BENCH_REPEAT) -out BENCH_scaling.json -history bench/history
 
 # benchdiff gates the two most recent bench/history records against each
 # other (see OBSERVABILITY.md "Tracking performance over time").

@@ -16,6 +16,11 @@
 // cells/sec gates both apply. Samples carries the repetition count, which
 // lets benchdiff's -min-samples guard reject one-shot noise.
 //
+// With -scaling the command instead drives the sparse-core pipeline
+// itself across the 10^3 → 10^6-vertex ladder (generate, solve, verify a
+// k-matching NE per decade) and emits the curve as one table per size;
+// see scaling.go and SCALING.md.
+//
 // Exit codes: 0 ok, 1 no benchmark lines found, 2 usage or write error.
 package main
 
@@ -45,6 +50,14 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var (
 		out     = fs.String("out", "", "write the bench record to this file")
 		history = fs.String("history", "", "also append the record to this history directory (see bench/history)")
+
+		scaling       = fs.Bool("scaling", false, "run the sparse-core scaling ladder instead of parsing bench output (see SCALING.md)")
+		scalingMaxN   = fs.Int("scaling-max-n", 1_000_000, "largest ladder size; decades 10^3..maxN run")
+		scalingAttach = fs.Int("scaling-attach", 3, "preferential-attachment edges per new vertex")
+		scalingK      = fs.Int("scaling-k", 4, "defender tuple size k")
+		scalingNu     = fs.Int("scaling-nu", 10, "number of attackers ν")
+		scalingSeed   = fs.Int64("scaling-seed", 1, "generator seed (each repetition re-solves the same instance)")
+		scalingRepeat = fs.Int("scaling-repeat", 1, "timing repetitions per size; WallMS keeps the minimum")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -52,6 +65,16 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if fs.NArg() != 0 {
 		fmt.Fprintln(stderr, "benchkernel: reads benchmark output on stdin; no positional arguments")
 		return 2
+	}
+	if *scaling {
+		return runScaling(scalingConfig{
+			maxN:   *scalingMaxN,
+			attach: *scalingAttach,
+			k:      *scalingK,
+			nu:     *scalingNu,
+			seed:   *scalingSeed,
+			repeat: *scalingRepeat,
+		}, *out, *history, stdout, stderr)
 	}
 
 	report, lines, err := parseBench(stdin)

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"strconv"
+
+	"github.com/defender-game/defender/internal/cover"
+	"github.com/defender-game/defender/internal/game"
+	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/obs"
+	"github.com/defender-game/defender/internal/rat"
+)
+
+// Sparse verification counter (catalogued in OBSERVABILITY.md): one
+// increment per completed VerifyKMatchingCSR run — the Theorem 3.4 audit
+// every scaling record performs on its 10^6-vertex equilibria.
+var obsCSRVerifications = obs.Default().Counter("core.csr.verifications")
+
+// SparseEquilibrium is a k-matching mixed Nash equilibrium of Π_k(G) in
+// flat int32 form — the million-vertex counterpart of TupleEquilibrium.
+// It never materializes a game.Game (whose strategy tables are Θ(n·m)):
+// both supports are implicit uniform distributions, so three slices and a
+// tuple index table describe the whole profile.
+//
+//   - VPSupport is D(VP), the common attacker support (= IS, ascending);
+//     every attacker plays uniformly on it.
+//   - EdgeU/EdgeV are E(D(tp)) in the labeling order e_0, e_1, ... of the
+//     cyclic construction; edge i joins EdgeU[i] and EdgeV[i].
+//   - Tuples is D(tp): each tuple lists K distinct edge indices into
+//     EdgeU/EdgeV; the defender plays uniformly on the tuples.
+type SparseEquilibrium struct {
+	C         *graph.CSR
+	Attackers int
+	K         int
+	VPSupport []int32
+	EdgeU     []int32
+	EdgeV     []int32
+	Tuples    [][]int32
+}
+
+// DefenderGain returns the defender's expected profit k·ν / |D(VP)|
+// (equation (12) of the paper) as an exact rational. For the sparse
+// construction this closed form is proven by VerifyKMatchingCSR, which
+// recomputes every tuple load in the rat domain. O(1); allocates the
+// result.
+func (ne *SparseEquilibrium) DefenderGain() *big.Rat {
+	return big.NewRat(int64(ne.K)*int64(ne.Attackers), int64(len(ne.VPSupport)))
+}
+
+// HitProbability returns P(Hit(v)) = k / |E(D(tp))| for v in the attacker
+// support (Claim 4.3). O(1); allocates the result.
+func (ne *SparseEquilibrium) HitProbability() *big.Rat {
+	return big.NewRat(int64(ne.K), int64(len(ne.EdgeU)))
+}
+
+// Multiplicity returns how many support tuples each support edge belongs
+// to: k·δ / |E(D(tp))| with δ = |D(tp)| (Claim 4.9). O(1), does not
+// allocate.
+func (ne *SparseEquilibrium) Multiplicity() int {
+	return ne.K * len(ne.Tuples) / len(ne.EdgeU)
+}
+
+// AlgorithmACSR runs step 1–2 of Algorithm A_tuple on the sparse path:
+// given a validated partition it assembles the edge-player support of
+// Algorithm A — one edge (v, Rep[v]) per VC vertex, then one arbitrary
+// incident edge per unused IS vertex — in the exact labeling order the
+// dense AlgorithmA uses (VC ascending, then leftover IS ascending), so
+// the two paths are differentially comparable. Every support edge touches
+// exactly one IS vertex and each IS vertex exactly one support edge.
+// O(n + m); allocates the endpoint slices and a bitset.
+func AlgorithmACSR(c *graph.CSR, p cover.PartitionCSR) (us, vs []int32, err error) {
+	if err := p.Validate(c); err != nil {
+		return nil, nil, fmt.Errorf("core: algorithm A csr: %w", err)
+	}
+	usedIS := graph.NewBitset(c.NumVertices())
+	us = make([]int32, 0, len(p.IS))
+	vs = make([]int32, 0, len(p.IS))
+	for _, v := range p.VC {
+		r := p.Rep[v]
+		usedIS.Set(r)
+		us = append(us, v)
+		vs = append(vs, r)
+	}
+	for _, v := range p.IS {
+		if usedIS.Has(v) {
+			continue
+		}
+		row := c.Neighbors(int(v))
+		if len(row) == 0 {
+			return nil, nil, fmt.Errorf("core: algorithm A csr: %w", game.ErrIsolatedVertex)
+		}
+		// The neighbor lies in VC because IS is independent.
+		us = append(us, v)
+		vs = append(vs, row[0])
+		usedIS.Set(v)
+	}
+	return us, vs, nil
+}
+
+// AlgorithmATupleCSR is Algorithm A_tuple (Figure 1) on the sparse path:
+// Algorithm A's edge support, labeled consecutively, traversed cyclically
+// in windows of k (δ = E/gcd(E,k) tuples, each edge in exactly k·δ/E of
+// them), with both players uniform — a k-matching NE of Π_k(G) by
+// Theorem 4.12, computed in O(k·n) after the partition (Theorem 4.13).
+// Returns ErrKTooLarge when k exceeds the support size |IS|. Allocates
+// the equilibrium slices.
+func AlgorithmATupleCSR(c *graph.CSR, attackers, k int, p cover.PartitionCSR) (*SparseEquilibrium, error) {
+	if attackers < 1 {
+		return nil, fmt.Errorf("core: algorithm A_tuple csr: attackers=%d, want >= 1", attackers)
+	}
+	us, vs, err := AlgorithmACSR(c, p)
+	if err != nil {
+		return nil, err
+	}
+	e := len(us)
+	if k < 1 {
+		return nil, fmt.Errorf("core: algorithm A_tuple csr: k=%d, want >= 1", k)
+	}
+	if k > e {
+		return nil, fmt.Errorf("%w: k=%d > |E(D(tp))|=%d", ErrKTooLarge, k, e)
+	}
+	delta := e / gcd(e, k)
+	tuples := make([][]int32, delta)
+	pos := 0
+	for i := range tuples {
+		t := make([]int32, k)
+		for j := 0; j < k; j++ {
+			t[j] = int32(pos)
+			pos = (pos + 1) % e
+		}
+		tuples[i] = t
+	}
+	return &SparseEquilibrium{
+		C:         c,
+		Attackers: attackers,
+		K:         k,
+		VPSupport: p.IS,
+		EdgeU:     us,
+		EdgeV:     vs,
+		Tuples:    tuples,
+	}, nil
+}
+
+// SolveKMatchingCSR computes a k-matching NE of Π_k(G) end to end on the
+// sparse path: partition search routed by bipartiteness
+// (cover.FindNEPartitionCSR), then Algorithm A_tuple. For bipartite
+// graphs this is the Theorem 5.1 pipeline at max{O(k·n), O(m√n)} — the
+// single-digit-seconds route for 10^6-vertex instances. Allocates the
+// equilibrium and the partition scratch.
+func SolveKMatchingCSR(c *graph.CSR, attackers, k int) (*SparseEquilibrium, error) {
+	sp := obs.Default().StartSpan("core.solve_sparse")
+	sp.Annotate("k", strconv.Itoa(k))
+	sp.Annotate("n", strconv.Itoa(c.NumVertices()))
+	defer sp.End()
+	p, err := cover.FindNEPartitionCSR(c)
+	if err != nil {
+		if errors.Is(err, cover.ErrNoPartition) {
+			return nil, fmt.Errorf("%w: %v", ErrNoMatchingNE, err)
+		}
+		return nil, err
+	}
+	return AlgorithmATupleCSR(c, attackers, k, p)
+}
+
+// VerifyKMatchingCSR checks — exactly, with loads computed in the
+// int64-first rat domain, and without materializing a game.Game — that ne
+// is a k-matching mixed Nash equilibrium, auditing every condition of
+// Theorem 3.4 plus the Definition 4.1 configuration shape:
+//
+//   - D(VP) is an independent set and every support vertex is incident to
+//     exactly one support edge, which belongs to exactly k·δ/E tuples
+//     (Definition 4.1, checked by explicit counting over all tuples);
+//   - E(D(tp)) is an edge cover of G and D(VP) a vertex cover of it
+//     (condition 1);
+//   - every support vertex attains the minimum hit probability, computed
+//     for all n vertices by counting covering tuples (condition 2(a));
+//   - every support tuple attains the maximum expected load k·ν/|IS|,
+//     each tuple load accumulated in rat arithmetic (condition 3(a) — the
+//     independent-support maximum of MaxTupleLoad case 1);
+//   - the attacker mass on V(D(tp)) is exactly ν (condition 3(b)).
+//
+// O(n + m + k·δ) time; allocates O(n) counting scratch. A nil return is a
+// proof of equilibrium; the differential tests cross-check it against the
+// dense VerifyCharacterization through ToTupleEquilibrium.
+func VerifyKMatchingCSR(ne *SparseEquilibrium) error {
+	c := ne.C
+	n := c.NumVertices()
+	e := len(ne.EdgeU)
+	is := ne.VPSupport
+	if ne.Attackers < 1 {
+		return fmt.Errorf("%w: attackers=%d", ErrNotEquilibrium, ne.Attackers)
+	}
+	if len(ne.EdgeV) != e || e == 0 {
+		return fmt.Errorf("%w: malformed edge support (%d,%d)", ErrNotEquilibrium, e, len(ne.EdgeV))
+	}
+	if ne.K < 1 || ne.K > e {
+		return fmt.Errorf("%w: k=%d outside 1..%d", ErrNotEquilibrium, ne.K, e)
+	}
+
+	// Support shape: IS ascending, distinct, independent in G.
+	inIS := graph.NewBitset(n)
+	for i, v := range is {
+		if v < 0 || int(v) >= n || (i > 0 && is[i-1] >= v) {
+			return fmt.Errorf("%w: attacker support not ascending/in-range at %d", ErrNotEquilibrium, v)
+		}
+		inIS.Set(v)
+	}
+	for _, v := range is {
+		for _, u := range c.Neighbors(int(v)) {
+			if inIS.Has(u) {
+				return fmt.Errorf("%w: attacker support not independent, edge (%d,%d)", ErrNotEquilibrium, v, u)
+			}
+		}
+	}
+
+	// Edge support: real edges of G, covering every vertex (condition 1),
+	// each touching exactly one IS vertex with D(VP) covering every
+	// support edge, and IS↔edge incidence a bijection (Definition 4.1(2)).
+	incident := make([]int32, n)
+	covered := graph.NewBitset(n)
+	for i := 0; i < e; i++ {
+		u, v := ne.EdgeU[i], ne.EdgeV[i]
+		if !c.HasEdge(int(u), int(v)) {
+			return fmt.Errorf("%w: support edge %d=(%d,%d) is not an edge of G", ErrNotEquilibrium, i, u, v)
+		}
+		covered.Set(u)
+		covered.Set(v)
+		touch := 0
+		if inIS.Has(u) {
+			incident[u]++
+			touch++
+		}
+		if inIS.Has(v) {
+			incident[v]++
+			touch++
+		}
+		if touch != 1 {
+			return fmt.Errorf("%w: support edge (%d,%d) touches %d IS vertices, want 1", ErrNotEquilibrium, u, v, touch)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !covered.Has(int32(v)) {
+			return fmt.Errorf("%w: E(D(tp)) does not cover vertex %d", ErrNotEquilibrium, v)
+		}
+	}
+	for _, v := range is {
+		if incident[v] != 1 {
+			return fmt.Errorf("%w: support vertex %d incident to %d support edges, want 1", ErrNotEquilibrium, v, incident[v])
+		}
+	}
+	if len(is) != e {
+		return fmt.Errorf("%w: |IS|=%d != |E(D(tp))|=%d, incidence is not a bijection", ErrNotEquilibrium, len(is), e)
+	}
+
+	// Tuple table: δ tuples of k distinct in-range edges, every edge in
+	// exactly r = k·δ/e of them (Definition 4.1(3), explicit count).
+	delta := len(ne.Tuples)
+	if delta == 0 || (ne.K*delta)%e != 0 {
+		return fmt.Errorf("%w: %d tuples of %d edges cannot spread %d support edges evenly", ErrNotEquilibrium, delta, ne.K, e)
+	}
+	r := ne.K * delta / e
+	mult := make([]int32, e)
+	seenEdge := make([]int32, e)
+	for i := range seenEdge {
+		seenEdge[i] = -1
+	}
+	for ti, t := range ne.Tuples {
+		if len(t) != ne.K {
+			return fmt.Errorf("%w: tuple %d has %d edges, want k=%d", ErrNotEquilibrium, ti, len(t), ne.K)
+		}
+		for _, id := range t {
+			if id < 0 || int(id) >= e {
+				return fmt.Errorf("%w: tuple %d lists edge %d outside support", ErrNotEquilibrium, ti, id)
+			}
+			if seenEdge[id] == int32(ti) {
+				return fmt.Errorf("%w: tuple %d repeats edge %d", ErrNotEquilibrium, ti, id)
+			}
+			seenEdge[id] = int32(ti)
+			mult[id]++
+		}
+	}
+	for id, m := range mult {
+		if m != int32(r) {
+			return fmt.Errorf("%w: edge %d occurs in %d tuples, others in %d", ErrNotEquilibrium, id, m, r)
+		}
+	}
+
+	// Condition 2(a): hit counts for all n vertices — hitCount[v]·(1/δ) is
+	// P(Hit(v)); support vertices must attain the minimum. Counts are
+	// exact, so the comparison stays in integers over the common
+	// denominator δ.
+	hitCount := make([]int32, n)
+	stamp := make([]int32, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for ti, t := range ne.Tuples {
+		for _, id := range t {
+			for _, v := range [2]int32{ne.EdgeU[id], ne.EdgeV[id]} {
+				if stamp[v] != int32(ti) {
+					stamp[v] = int32(ti)
+					hitCount[v]++
+				}
+			}
+		}
+	}
+	minHit := hitCount[0]
+	for _, h := range hitCount[1:] {
+		if h < minHit {
+			minHit = h
+		}
+	}
+	for _, v := range is {
+		if hitCount[v] != minHit {
+			return fmt.Errorf("%w: support vertex %d has hit probability %d/%d > min %d/%d",
+				ErrNotEquilibrium, v, hitCount[v], delta, minHit, delta)
+		}
+	}
+
+	// Condition 3(a): each IS vertex carries load ν/|IS| (uniform
+	// attackers on IS), so the loads are supported on an independent set
+	// and the maximum tuple load is the k largest loads: k·ν/|IS|
+	// (MaxTupleLoad case 1; k <= |IS| holds by the bijection). Every
+	// support tuple must attain it — accumulated in the rat domain, where
+	// these small fractions stay on the allocation-free int64 path.
+	var perVertex, want, tupleLoad rat.Rat
+	perVertex.SetFrac64(int64(ne.Attackers), int64(len(is)))
+	want.SetFrac64(int64(ne.K)*int64(ne.Attackers), int64(len(is)))
+	for ti, t := range ne.Tuples {
+		tupleLoad.SetInt64(0)
+		for _, id := range t {
+			for _, v := range [2]int32{ne.EdgeU[id], ne.EdgeV[id]} {
+				if inIS.Has(v) {
+					// Distinct edges touch distinct IS vertices (the
+					// bijection), so no double counting inside a tuple.
+					tupleLoad.Add(&tupleLoad, &perVertex)
+				}
+			}
+		}
+		if tupleLoad.Cmp(&want) != 0 {
+			return fmt.Errorf("%w: tuple %d has load %v < max %v", ErrNotEquilibrium, ti, tupleLoad.Big(), want.Big())
+		}
+	}
+
+	// Condition 3(b): the attacker mass on V(D(tp)) is exactly ν. Every
+	// support edge lies in some tuple (r >= 1), so V(D(tp)) is the set of
+	// support endpoints; summing ν/|IS| over its IS members must give ν.
+	var mass, nu rat.Rat
+	nu.SetInt64(int64(ne.Attackers))
+	for _, v := range is {
+		if hitCount[v] > 0 {
+			mass.Add(&mass, &perVertex)
+		}
+	}
+	if mass.Cmp(&nu) != 0 {
+		return fmt.Errorf("%w: attacker mass on V(D(tp)) is %v, want ν=%v", ErrNotEquilibrium, mass.Big(), nu.Big())
+	}
+
+	obsCSRVerifications.Inc()
+	return nil
+}
+
+// ToTupleEquilibrium expands the sparse equilibrium into the dense
+// TupleEquilibrium form, materializing the game.Game — the bridge the
+// differential tests use to replay a sparse solve through
+// BuildKMatchingNE and VerifyCharacterization. Θ(n·m) game tables: small
+// graphs only, never the 10^6-vertex path. Allocates the full game.
+func (ne *SparseEquilibrium) ToTupleEquilibrium() (TupleEquilibrium, error) {
+	g := ne.C.ToGraph()
+	vp := make([]int, len(ne.VPSupport))
+	for i, v := range ne.VPSupport {
+		vp[i] = int(v)
+	}
+	tuples := make([]game.Tuple, len(ne.Tuples))
+	for i, t := range ne.Tuples {
+		edges := make([]graph.Edge, len(t))
+		for j, id := range t {
+			edges[j] = graph.NewEdge(int(ne.EdgeU[id]), int(ne.EdgeV[id]))
+		}
+		tuple, err := game.NewTuple(g, edges)
+		if err != nil {
+			return TupleEquilibrium{}, fmt.Errorf("core: sparse tuple %d: %w", i, err)
+		}
+		tuples[i] = tuple
+	}
+	return BuildKMatchingNE(g, ne.Attackers, ne.K, vp, tuples)
+}
+
+// SolveKMatchingCSRVerified is the scaling pipeline's entry point: solve
+// and then immediately audit the result with VerifyKMatchingCSR, so every
+// benchmark row carries a Theorem 3.4 proof, not just a construction.
+// Cost is one solve plus one O(n + m + k·δ) verification.
+func SolveKMatchingCSRVerified(c *graph.CSR, attackers, k int) (*SparseEquilibrium, error) {
+	ne, err := SolveKMatchingCSR(c, attackers, k)
+	if err != nil {
+		return nil, err
+	}
+	if err := VerifyKMatchingCSR(ne); err != nil {
+		return nil, fmt.Errorf("core: sparse solve failed its own audit: %w", err)
+	}
+	return ne, nil
+}

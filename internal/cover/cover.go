@@ -38,7 +38,7 @@ var (
 
 // IsEdgeCover reports whether edges covers every vertex of g, i.e. each
 // vertex of g is an endpoint of some listed edge. All listed edges must
-// belong to g.
+// belong to g. O(n + |edges|) expected; allocates the covered bitmap.
 func IsEdgeCover(g *graph.Graph, edges []graph.Edge) bool {
 	n := g.NumVertices()
 	covered := make([]bool, n)
@@ -62,6 +62,8 @@ func IsEdgeCover(g *graph.Graph, edges []graph.Edge) bool {
 // unmatched vertex with one arbitrary incident edge (Norman–Rabin). The
 // maximum matching is computed with Edmonds' blossom algorithm, so g may be
 // non-bipartite. Returns ErrIsolatedVertex if some vertex has degree 0.
+// O(n^3) (blossom-dominated); allocates the cover and the matching state.
+// Sparse path: cover.MinimumEdgeCoverCSRFromMatching.
 func MinimumEdgeCover(g *graph.Graph) ([]graph.Edge, error) {
 	if g.HasIsolatedVertex() {
 		return nil, ErrIsolatedVertex
@@ -73,7 +75,8 @@ func MinimumEdgeCover(g *graph.Graph) ([]graph.Edge, error) {
 // of g (as a mate array) into a minimum edge cover, skipping the blossom
 // recomputation — the cache-friendly entry point for callers that memoize
 // the matching. mate must be a maximum matching of g (Gallai's identity
-// only holds then) and g must have no isolated vertex.
+// only holds then) and g must have no isolated vertex. O(n + m);
+// allocates the cover list and per-vertex neighbor copies.
 func MinimumEdgeCoverFromMatching(g *graph.Graph, mate []int) ([]graph.Edge, error) {
 	if g.HasIsolatedVertex() {
 		return nil, ErrIsolatedVertex
@@ -95,7 +98,8 @@ func MinimumEdgeCoverFromMatching(g *graph.Graph, mate []int) ([]graph.Edge, err
 }
 
 // EdgeCoverNumber returns rho(G), the size of a minimum edge cover, or an
-// error if none exists.
+// error if none exists. Cost of MinimumEdgeCover: O(n^3), allocates the
+// cover it then discards.
 func EdgeCoverNumber(g *graph.Graph) (int, error) {
 	ec, err := MinimumEdgeCover(g)
 	if err != nil {
@@ -107,6 +111,7 @@ func EdgeCoverNumber(g *graph.Graph) (int, error) {
 // HasEdgeCoverOfSize reports whether g has an edge cover with exactly k
 // edges. Because any edge cover can be padded with extra edges, this holds
 // iff rho(G) <= k <= m. This is the existence test of Theorem 3.1.
+// Cost of EdgeCoverNumber: O(n^3) and its allocations.
 func HasEdgeCoverOfSize(g *graph.Graph, k int) (bool, error) {
 	if k < 0 || k > g.NumEdges() {
 		return false, nil
@@ -123,7 +128,8 @@ func HasEdgeCoverOfSize(g *graph.Graph, k int) (bool, error) {
 
 // EdgeCoverOfSize returns an edge cover with exactly k edges, built by
 // padding a minimum edge cover with arbitrary unused edges. It returns an
-// error when rho(G) > k or k > m.
+// error when rho(G) > k or k > m. O(n^3 + m) (blossom-dominated);
+// allocates the cover and a membership map.
 func EdgeCoverOfSize(g *graph.Graph, k int) ([]graph.Edge, error) {
 	if k > g.NumEdges() {
 		return nil, fmt.Errorf("cover: requested cover size %d exceeds edge count %d", k, g.NumEdges())
@@ -151,7 +157,8 @@ func EdgeCoverOfSize(g *graph.Graph, k int) ([]graph.Edge, error) {
 	return ec, nil
 }
 
-// IsVertexCover reports whether vs covers every edge of g.
+// IsVertexCover reports whether vs covers every edge of g. O(n + m);
+// allocates a membership bitmap and the edge-list copy.
 func IsVertexCover(g *graph.Graph, vs []int) bool {
 	member := membership(g.NumVertices(), vs)
 	for _, e := range g.Edges() {
@@ -164,7 +171,8 @@ func IsVertexCover(g *graph.Graph, vs []int) bool {
 
 // IsVertexCoverOfEdges reports whether vs covers every edge in the list,
 // i.e. vs is a vertex cover of the graph obtained by the edge set (condition
-// 1 of Theorem 3.4 and condition (iii) of Lemma 2.1).
+// 1 of Theorem 3.4 and condition (iii) of Lemma 2.1). O(n + |edges|);
+// allocates the membership bitmap.
 func IsVertexCoverOfEdges(n int, edges []graph.Edge, vs []int) bool {
 	member := membership(n, vs)
 	for _, e := range edges {
@@ -176,6 +184,7 @@ func IsVertexCoverOfEdges(n int, edges []graph.Edge, vs []int) bool {
 }
 
 // IsIndependentSet reports whether no edge of g joins two vertices of vs.
+// O(n + m); allocates a membership bitmap and the edge-list copy.
 func IsIndependentSet(g *graph.Graph, vs []int) bool {
 	member := membership(g.NumVertices(), vs)
 	for _, e := range g.Edges() {
@@ -188,7 +197,8 @@ func IsIndependentSet(g *graph.Graph, vs []int) bool {
 
 // MinimumVertexCoverBipartite computes a minimum vertex cover of a bipartite
 // graph via Hopcroft–Karp and König's theorem, in O(m sqrt n). It returns
-// graph.ErrNotBipartite for graphs with odd cycles.
+// graph.ErrNotBipartite for graphs with odd cycles. Allocates the sorted
+// cover plus the matching scratch.
 func MinimumVertexCoverBipartite(g *graph.Graph) ([]int, error) {
 	side, err := g.Bipartition()
 	if err != nil {
@@ -204,7 +214,8 @@ func MinimumVertexCoverBipartite(g *graph.Graph) ([]int, error) {
 }
 
 // MaximumIndependentSetBipartite returns a maximum independent set of a
-// bipartite graph (the complement of a minimum vertex cover).
+// bipartite graph (the complement of a minimum vertex cover). O(m sqrt n);
+// allocates the set plus MinimumVertexCoverBipartite's scratch.
 func MaximumIndependentSetBipartite(g *graph.Graph) ([]int, error) {
 	vc, err := MinimumVertexCoverBipartite(g)
 	if err != nil {
@@ -214,7 +225,8 @@ func MaximumIndependentSetBipartite(g *graph.Graph) ([]int, error) {
 }
 
 // GreedyVertexCover returns a maximal-matching-based vertex cover (a
-// 2-approximation of the minimum) for arbitrary graphs.
+// 2-approximation of the minimum) for arbitrary graphs. O(n + m);
+// allocates the cover and the greedy mate array.
 func GreedyVertexCover(g *graph.Graph) []int {
 	mate := matching.Greedy(g)
 	var vc []int
@@ -228,7 +240,8 @@ func GreedyVertexCover(g *graph.Graph) []int {
 
 // GreedyIndependentSet returns a maximal independent set built by scanning
 // vertices in the given order (ascending degree is a good default; pass nil
-// to use vertex order 0..n-1).
+// to use vertex order 0..n-1). O(n + m); allocates the sorted set and a
+// blocked bitmap. Sparse path: GreedyIndependentSetCSR.
 func GreedyIndependentSet(g *graph.Graph, order []int) []int {
 	n := g.NumVertices()
 	if order == nil {

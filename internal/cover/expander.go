@@ -17,7 +17,8 @@ import (
 
 // IsExpanderSet decides the literal S-expander condition: every X ⊆ s has
 // at least |X| distinct neighbors anywhere in V. On failure it returns a
-// concrete violating subset.
+// concrete violating subset. O(|s| · m) via Kuhn SDR; allocates the
+// search scratch of matching.Representatives.
 func IsExpanderSet(g *graph.Graph, s []int) (bool, []int) {
 	_, violator := matching.Representatives(g, s, nil)
 	return violator == nil, violator
@@ -28,7 +29,8 @@ func IsExpanderSet(g *graph.Graph, s []int) (bool, []int) {
 // On success it also returns the system of distinct representatives
 // rep[v] ∈ is for every v ∈ vc, which is exactly the matching of VC into IS
 // that Algorithm A of [7] threads into the edge-player support. On failure
-// rep is nil and violator is a witness subset of vc.
+// rep is nil and violator is a witness subset of vc. O(|vc| · m);
+// allocates the membership bitmap, the rep map, and SDR scratch.
 func IsNEExpander(g *graph.Graph, is, vc []int) (rep map[int]int, violator []int) {
 	member := membership(g.NumVertices(), is)
 	return matching.Representatives(g, vc, func(v int) bool { return member[v] })
@@ -36,7 +38,8 @@ func IsNEExpander(g *graph.Graph, is, vc []int) (rep map[int]int, violator []int
 
 // ExpanderBruteForce checks the literal S-expander condition by enumerating
 // all 2^|s| subsets. It is the test oracle for IsExpanderSet and is limited
-// to |s| <= 24 (ErrTooLarge beyond that).
+// to |s| <= 24 (ErrTooLarge beyond that). O(2^|s| · |s| · Δ); allocates
+// the stamp array and any returned violator.
 func ExpanderBruteForce(g *graph.Graph, s []int) (bool, []int, error) {
 	s = graph.NormalizeSet(s)
 	if len(s) > 24 {
@@ -46,6 +49,8 @@ func ExpanderBruteForce(g *graph.Graph, s []int) (bool, []int, error) {
 }
 
 // NEExpanderBruteForce is the exponential oracle for IsNEExpander.
+// O(2^|vc| · |vc| · Δ), capped at |vc| <= 24 (ErrTooLarge beyond);
+// allocates the membership bitmap and stamp array.
 func NEExpanderBruteForce(g *graph.Graph, is, vc []int) (bool, []int, error) {
 	vc = graph.NormalizeSet(vc)
 	if len(vc) > 24 {

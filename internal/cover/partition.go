@@ -23,6 +23,8 @@ type Partition struct {
 }
 
 // Validate re-checks all three partition properties against g.
+// O(n + |VC| · m) (SDR-dominated); allocates check scratch.
+// Sparse counterpart: PartitionCSR.Validate.
 func (p Partition) Validate(g *graph.Graph) error {
 	if !graph.IsPartition(p.IS, p.VC, g.NumVertices()) {
 		return fmt.Errorf("cover: IS and VC do not partition the %d vertices", g.NumVertices())
@@ -40,7 +42,8 @@ func (p Partition) Validate(g *graph.Graph) error {
 // VC is a König minimum vertex cover and IS its complement. The paper's
 // Theorem 5.1 builds on this route. The graph must have no isolated
 // vertices (isolated vertices are in every maximum independent set but make
-// the game itself ill-defined).
+// the game itself ill-defined). O(m sqrt n + |VC| · m); allocates the
+// partition and matching scratch. Sparse: FindNEPartitionBipartiteCSR.
 func FindNEPartitionBipartite(g *graph.Graph) (Partition, error) {
 	vc, err := MinimumVertexCoverBipartite(g)
 	if err != nil {
@@ -65,7 +68,9 @@ func FindNEPartitionBipartite(g *graph.Graph) (Partition, error) {
 // maxVertices vertices (ErrTooLarge); pass 0 for the default limit of 24.
 //
 // It returns ErrNoPartition when no partition exists — a proof of
-// non-existence of k-matching equilibria by Corollary 4.11.
+// non-existence of k-matching equilibria by Corollary 4.11. Exponential
+// (Bron–Kerbosch over maximal independent sets); allocates enumeration
+// and SDR scratch per candidate set.
 func FindNEPartitionExact(g *graph.Graph, maxVertices int) (Partition, error) {
 	if maxVertices <= 0 {
 		maxVertices = 24
@@ -95,6 +100,8 @@ func FindNEPartitionExact(g *graph.Graph, maxVertices int) (Partition, error) {
 // FindNEPartitionGreedy tries several randomized greedy maximal independent
 // sets and returns the first one whose complement passes the expander check.
 // It cannot prove non-existence: failure is ErrPartitionNotFound.
+// O(tries · |VC| · m); allocates candidate orders and per-try scratch.
+// Sparse (deterministic-orders-only) counterpart: FindNEPartitionGreedyCSR.
 func FindNEPartitionGreedy(g *graph.Graph, tries int, seed int64) (Partition, error) {
 	if tries <= 0 {
 		tries = 16
@@ -133,7 +140,10 @@ func FindNEPartitionGreedy(g *graph.Graph, tries int, seed int64) (Partition, er
 
 // FindNEPartition is the combined search used by the solvers: bipartite
 // graphs take the König route (polynomial, always succeeds); otherwise small
-// graphs are decided exactly and large graphs heuristically.
+// graphs are decided exactly and large graphs heuristically. Cost is the
+// chosen route's (polynomial bipartite, exponential exact on n <= 24,
+// else the greedy heuristic). Sparse counterpart: FindNEPartitionCSR,
+// routing documented in SCALING.md "Routing".
 func FindNEPartition(g *graph.Graph) (Partition, error) {
 	if g.HasIsolatedVertex() {
 		return Partition{}, ErrIsolatedVertex
@@ -171,7 +181,7 @@ func EnumerateNEPartitions(g *graph.Graph, visit func(Partition) bool) error {
 }
 
 // CountNEPartitions counts the partitions EnumerateNEPartitions would
-// visit.
+// visit. Exponential like the enumeration; allocates its scratch.
 func CountNEPartitions(g *graph.Graph) (int, error) {
 	count := 0
 	err := EnumerateNEPartitions(g, func(Partition) bool { count++; return true })
@@ -182,7 +192,8 @@ func CountNEPartitions(g *graph.Graph) (int, error) {
 // complement graph, invoking visit for every maximal independent set (as a
 // sorted vertex list). Enumeration stops early when visit returns false.
 // Limited to n <= 64 vertices (bitmask representation); returns ErrTooLarge
-// beyond that.
+// beyond that. O(3^(n/3)) worst case; allocates the complement masks and
+// one sorted slice per visited set.
 func EnumerateMaximalIndependentSets(g *graph.Graph, visit func(is []int) bool) error {
 	n := g.NumVertices()
 	if n > 64 {

@@ -14,11 +14,11 @@ import (
 func FuzzParseGraph6(f *testing.F) {
 	seeds := []string{
 		"", "@", "A_", "Bw", "Bg", "D??", ">>graph6<<Bw\n",
-		"Ao",   // nonzero padding
+		"Ao",    // nonzero padding
 		"~??B?", // non-canonical long form
 		"~~~~", "~A", "A__", "\x01_",
-		"~?@?" + strings.Repeat("?", 326),   // long-form n=64, empty graph
-		"IsP@PGXD_", // Petersen
+		"~?@?" + strings.Repeat("?", 326), // long-form n=64, empty graph
+		"IsP@PGXD_",                       // Petersen
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -22,6 +22,7 @@ type Generator struct {
 // NewGenerator wraps an explicit source. A nil rng falls back to a fixed
 // seed of 1, keeping the zero-config path deterministic rather than
 // silently global.
+// O(1); allocates the wrapper (and a default source when rng is nil).
 func NewGenerator(rng *rand.Rand) *Generator {
 	if rng == nil {
 		return NewSeededGenerator(1)
@@ -31,6 +32,7 @@ func NewGenerator(rng *rand.Rand) *Generator {
 
 // NewSeededGenerator builds a Generator with its own source seeded from
 // seed.
+// O(1); allocates the generator and its rand source.
 func NewSeededGenerator(seed int64) *Generator {
 	return &Generator{rng: rand.New(rand.NewSource(seed))}
 }
@@ -38,9 +40,12 @@ func NewSeededGenerator(seed int64) *Generator {
 // Rand exposes the underlying source, for callers that need auxiliary
 // draws (e.g. shuffling experiment orders) from the same replayable
 // stream.
+// O(1), does not allocate.
 func (gen *Generator) Rand() *rand.Rand { return gen.rng }
 
 // GNP draws an Erdős–Rényi graph G(n, p).
+// Costs n(n-1)/2 coin flips and the accepted AddEdge insertions;
+// allocates the returned graph.
 func (gen *Generator) GNP(n int, p float64) *Graph {
 	g := New(n)
 	for u := 0; u < n; u++ {
@@ -58,6 +63,8 @@ func (gen *Generator) GNP(n int, p float64) *Graph {
 // avoid isolated vertices (the Tuple model forbids them), every vertex
 // that ends up isolated is attached to a uniformly random vertex of the
 // other side (requires a, b >= 1).
+// Costs a·b coin flips plus the accepted AddEdge insertions; allocates
+// the returned graph.
 func (gen *Generator) Bipartite(a, b int, p float64) *Graph {
 	g := New(a + b)
 	for u := 0; u < a; u++ {
@@ -84,6 +91,8 @@ func (gen *Generator) Bipartite(a, b int, p float64) *Graph {
 
 // Tree draws a uniformly random labelled tree on n vertices, built by
 // decoding a random Prüfer sequence.
+// O(n log n) (Prüfer decode with sorted bookkeeping); allocates the
+// returned tree and decode scratch.
 func (gen *Generator) Tree(n int) *Graph {
 	g := New(n)
 	if n <= 1 {
@@ -147,6 +156,8 @@ func (gen *Generator) Tree(n int) *Graph {
 // Connected draws a connected Erdős–Rényi-style graph: a random tree
 // backbone (guaranteeing connectivity and no isolated vertices) plus each
 // remaining pair as an edge with probability p.
+// O(n^2) coin flips over the remaining pairs plus the spanning-tree
+// build; allocates the returned graph.
 func (gen *Generator) Connected(n int, p float64) *Graph {
 	g := gen.Tree(n)
 	for u := 0; u < n; u++ {
@@ -161,6 +172,8 @@ func (gen *Generator) Connected(n int, p float64) *Graph {
 
 // Regular draws a d-regular graph on n vertices via the pairing model
 // with restarts, or an error if n*d is odd or d >= n.
+// Expected O(n·d) per attempt over a bounded number of pairing restarts;
+// allocates the returned graph and the stub pool.
 func (gen *Generator) Regular(n, d int) (*Graph, error) {
 	if n*d%2 != 0 {
 		return nil, fmt.Errorf("graph: no %d-regular graph on %d vertices (odd degree sum)", d, n)
@@ -183,6 +196,8 @@ func (gen *Generator) Regular(n, d int) (*Graph, error) {
 // `attach` distinct neighbors with probability proportional to current
 // degree. The result is connected with no isolated vertices; n must be
 // at least attach+1 and attach >= 1.
+// O(n·attach) draws against the repeated-endpoint pool; allocates the
+// returned graph and the pool. CSR counterpart: BarabasiAlbertCSR.
 func (gen *Generator) BarabasiAlbert(n, attach int) *Graph {
 	if attach < 1 {
 		attach = 1
@@ -242,6 +257,8 @@ func (gen *Generator) BarabasiAlbert(n, attach int) *Graph {
 // a uniformly random non-duplicate endpoint. Rewirings that would isolate
 // a vertex or duplicate an edge are skipped, so the result stays simple
 // with minimum degree >= 1.
+// O(n·k) ring construction plus rewiring draws; allocates the returned
+// graph.
 func (gen *Generator) WattsStrogatz(n, k int, p float64) *Graph {
 	if k < 2 {
 		k = 2

@@ -1,6 +1,7 @@
 package graph
 
 // Path returns the path graph P_n on n vertices (n-1 edges).
+// O(n); allocates the returned graph.
 func Path(n int) *Graph {
 	g := New(n)
 	for v := 0; v+1 < n; v++ {
@@ -11,6 +12,7 @@ func Path(n int) *Graph {
 
 // Cycle returns the cycle graph C_n on n >= 3 vertices.
 // For n < 3 it returns a path (cycles need at least three vertices).
+// O(n); allocates the returned graph.
 func Cycle(n int) *Graph {
 	g := Path(n)
 	if n >= 3 {
@@ -20,6 +22,7 @@ func Cycle(n int) *Graph {
 }
 
 // Complete returns the complete graph K_n.
+// O(n^2) insertions; allocates the returned graph.
 func Complete(n int) *Graph {
 	g := New(n)
 	for u := 0; u < n; u++ {
@@ -31,6 +34,7 @@ func Complete(n int) *Graph {
 }
 
 // Star returns the star K_{1,n-1}: vertex 0 is the center.
+// O(n); allocates the returned graph.
 func Star(n int) *Graph {
 	g := New(n)
 	for v := 1; v < n; v++ {
@@ -41,6 +45,7 @@ func Star(n int) *Graph {
 
 // Wheel returns the wheel W_n: a cycle on vertices 1..n-1 plus hub 0.
 // It requires n >= 4 for the rim to be a proper cycle.
+// O(n); allocates the returned graph.
 func Wheel(n int) *Graph {
 	g := New(n)
 	for v := 1; v < n; v++ {
@@ -57,6 +62,7 @@ func Wheel(n int) *Graph {
 
 // CompleteBipartite returns K_{a,b}: vertices 0..a-1 on the left side and
 // a..a+b-1 on the right side.
+// O(a·b) insertions; allocates the returned graph.
 func CompleteBipartite(a, b int) *Graph {
 	g := New(a + b)
 	for u := 0; u < a; u++ {
@@ -68,6 +74,7 @@ func CompleteBipartite(a, b int) *Graph {
 }
 
 // Grid returns the r x c grid graph. Vertex (i, j) has index i*c + j.
+// O(r·c); allocates the returned graph.
 func Grid(r, c int) *Graph {
 	g := New(r * c)
 	for i := 0; i < r; i++ {
@@ -85,6 +92,7 @@ func Grid(r, c int) *Graph {
 }
 
 // Hypercube returns the d-dimensional hypercube Q_d on 2^d vertices.
+// O(d·2^d) insertions; allocates the returned graph.
 func Hypercube(d int) *Graph {
 	n := 1 << uint(d)
 	g := New(n)
@@ -101,6 +109,7 @@ func Hypercube(d int) *Graph {
 
 // PerfectMatchingGraph returns n/2 disjoint edges (2i, 2i+1); n must be even
 // (an odd trailing vertex is left isolated).
+// O(n); allocates the returned graph.
 func PerfectMatchingGraph(n int) *Graph {
 	g := New(n)
 	for v := 0; v+1 < n; v += 2 {
@@ -110,6 +119,7 @@ func PerfectMatchingGraph(n int) *Graph {
 }
 
 // Petersen returns the Petersen graph (10 vertices, 15 edges, 3-regular).
+// O(1)-sized; allocates the returned graph.
 func Petersen() *Graph {
 	g := New(10)
 	for v := 0; v < 5; v++ {
@@ -124,6 +134,7 @@ func Petersen() *Graph {
 // vertices (the incidence graph of the Fano plane). It is simultaneously
 // bipartite (k-matching equilibria exist) and perfectly matchable, making
 // it the canonical instance where the two equilibrium families tie.
+// O(1)-sized; allocates the returned graph.
 func Heawood() *Graph {
 	g := New(14)
 	for v := 0; v < 14; v++ {
@@ -140,30 +151,35 @@ func Heawood() *Graph {
 // RandomGNP returns an Erdős–Rényi graph G(n, p) drawn with the given seed.
 // It is a convenience wrapper over Generator.GNP; callers drawing several
 // graphs should hold one Generator instead.
+// Cost of Generator.GNP plus a one-shot generator allocation.
 func RandomGNP(n int, p float64, seed int64) *Graph {
 	return NewSeededGenerator(seed).GNP(n, p)
 }
 
 // RandomBipartite returns a random bipartite graph without isolated
 // vertices, drawn with the given seed; see Generator.Bipartite.
+// Cost of Generator.Bipartite plus a one-shot generator allocation.
 func RandomBipartite(a, b int, p float64, seed int64) *Graph {
 	return NewSeededGenerator(seed).Bipartite(a, b, p)
 }
 
 // RandomTree returns a uniformly random labelled tree on n vertices, drawn
 // with the given seed; see Generator.Tree.
+// Cost of Generator.Tree plus a one-shot generator allocation.
 func RandomTree(n int, seed int64) *Graph {
 	return NewSeededGenerator(seed).Tree(n)
 }
 
 // RandomConnected returns a connected Erdős–Rényi-style graph drawn with
 // the given seed; see Generator.Connected.
+// Cost of Generator.Connected plus a one-shot generator allocation.
 func RandomConnected(n int, p float64, seed int64) *Graph {
 	return NewSeededGenerator(seed).Connected(n, p)
 }
 
 // RandomRegular returns a d-regular graph on n vertices drawn with the
 // given seed, or an error if n*d is odd or d >= n; see Generator.Regular.
+// Cost of Generator.Regular plus a one-shot generator allocation.
 func RandomRegular(n, d int, seed int64) (*Graph, error) {
 	return NewSeededGenerator(seed).Regular(n, d)
 }

@@ -37,6 +37,7 @@ type Edge struct {
 }
 
 // NewEdge returns the normalized edge {u, v} with the smaller endpoint first.
+// O(1), does not allocate.
 func NewEdge(u, v int) Edge {
 	if u > v {
 		u, v = v, u
@@ -45,7 +46,7 @@ func NewEdge(u, v int) Edge {
 }
 
 // Other returns the endpoint of e different from w.
-// It returns -1 if w is not an endpoint of e.
+// It returns -1 if w is not an endpoint of e. O(1), does not allocate.
 func (e Edge) Other(w int) int {
 	switch w {
 	case e.U:
@@ -57,10 +58,10 @@ func (e Edge) Other(w int) int {
 	}
 }
 
-// Has reports whether w is an endpoint of e.
+// Has reports whether w is an endpoint of e. O(1), does not allocate.
 func (e Edge) Has(w int) bool { return e.U == w || e.V == w }
 
-// String renders the edge as "(u,v)".
+// String renders the edge as "(u,v)". Allocates the string.
 func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
 
 // Graph is a simple undirected graph on vertices 0..n-1.
@@ -75,7 +76,8 @@ type Graph struct {
 	edgeIndex map[Edge]int // normalized edge -> index into edges
 }
 
-// New returns an empty graph on n vertices (n >= 0).
+// New returns an empty graph on n vertices (n >= 0). O(n); allocates the
+// adjacency skeleton and the edge-index map.
 func New(n int) *Graph {
 	if n < 0 {
 		n = 0
@@ -87,14 +89,16 @@ func New(n int) *Graph {
 	}
 }
 
-// NumVertices returns the number of vertices n.
+// NumVertices returns the number of vertices n. O(1), does not allocate.
 func (g *Graph) NumVertices() int { return g.n }
 
-// NumEdges returns the number of edges m.
+// NumEdges returns the number of edges m. O(1), does not allocate.
 func (g *Graph) NumEdges() int { return len(g.edges) }
 
 // AddEdge inserts the undirected edge {u, v}.
 // It returns ErrVertexRange, ErrSelfLoop or ErrDuplicateEdge on invalid input.
+// O(d) per insertion (sorted adjacency shift) plus amortized append and
+// map-store allocations.
 func (g *Graph) AddEdge(u, v int) error {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		return fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexRange, u, v, g.n)
@@ -133,7 +137,8 @@ func insertSorted(s []int, x int) []int {
 	return s
 }
 
-// HasEdge reports whether {u, v} is an edge of g.
+// HasEdge reports whether {u, v} is an edge of g. O(1) expected (map
+// lookup), does not allocate.
 func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
 		return false
@@ -144,6 +149,7 @@ func (g *Graph) HasEdge(u, v int) bool {
 
 // EdgeID returns the index of edge e in the edge list, or -1 if absent.
 // Edge indices are stable identifiers used by tuples of the Tuple model.
+// O(1) expected, does not allocate.
 func (g *Graph) EdgeID(e Edge) int {
 	id, ok := g.edgeIndex[NewEdge(e.U, e.V)]
 	if !ok {
@@ -154,16 +160,19 @@ func (g *Graph) EdgeID(e Edge) int {
 
 // EdgeByID returns the edge with the given index.
 // It panics if id is out of range, mirroring slice indexing semantics.
+// O(1), does not allocate.
 func (g *Graph) EdgeByID(id int) Edge { return g.edges[id] }
 
-// Edges returns a copy of the edge list in insertion order.
+// Edges returns a copy of the edge list in insertion order. O(m);
+// allocates the copy.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, len(g.edges))
 	copy(out, g.edges)
 	return out
 }
 
-// Neighbors returns a copy of the (sorted) adjacency list of v.
+// Neighbors returns a copy of the (sorted) adjacency list of v. O(d);
+// allocates the copy — use EachNeighbor on hot paths.
 func (g *Graph) Neighbors(v int) []int {
 	if v < 0 || v >= g.n {
 		return nil
@@ -174,7 +183,8 @@ func (g *Graph) Neighbors(v int) []int {
 }
 
 // EachNeighbor calls fn for every neighbor of v in ascending order.
-// It avoids the copy made by Neighbors on hot paths.
+// It avoids the copy made by Neighbors on hot paths. O(d), does not
+// allocate (the closure may).
 func (g *Graph) EachNeighbor(v int, fn func(u int)) {
 	if v < 0 || v >= g.n {
 		return
@@ -185,6 +195,7 @@ func (g *Graph) EachNeighbor(v int, fn func(u int)) {
 }
 
 // Degree returns the degree of v, or 0 if v is out of range.
+// O(1), does not allocate.
 func (g *Graph) Degree(v int) int {
 	if v < 0 || v >= g.n {
 		return 0
@@ -193,6 +204,7 @@ func (g *Graph) Degree(v int) int {
 }
 
 // MinDegree returns the minimum vertex degree (0 for the empty graph).
+// O(n), does not allocate.
 func (g *Graph) MinDegree() int {
 	if g.n == 0 {
 		return 0
@@ -207,6 +219,7 @@ func (g *Graph) MinDegree() int {
 }
 
 // MaxDegree returns the maximum vertex degree (0 for the empty graph).
+// O(n), does not allocate.
 func (g *Graph) MaxDegree() int {
 	max := 0
 	for _, a := range g.adj {
@@ -219,7 +232,7 @@ func (g *Graph) MaxDegree() int {
 
 // HasIsolatedVertex reports whether some vertex has degree 0. The Tuple
 // model is defined on graphs without isolated vertices (an isolated vertex
-// can never be covered by an edge).
+// can never be covered by an edge). O(n), does not allocate.
 func (g *Graph) HasIsolatedVertex() bool {
 	for _, a := range g.adj {
 		if len(a) == 0 {
@@ -230,6 +243,7 @@ func (g *Graph) HasIsolatedVertex() bool {
 }
 
 // IncidentEdges returns the edges incident to v, in ascending neighbor order.
+// O(d); allocates the edge slice.
 func (g *Graph) IncidentEdges(v int) []Edge {
 	if v < 0 || v >= g.n {
 		return nil
@@ -241,7 +255,8 @@ func (g *Graph) IncidentEdges(v int) []Edge {
 	return out
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. O(n + m log m) (sorted adjacency
+// rebuild); allocates the copy.
 func (g *Graph) Clone() *Graph {
 	c := New(g.n)
 	for _, e := range g.edges {
@@ -253,6 +268,7 @@ func (g *Graph) Clone() *Graph {
 
 // NeighborhoodOf returns Neigh_G(X): the set of all vertices adjacent to at
 // least one vertex of set (which may intersect set itself), as a sorted slice.
+// O(Σ d(v) + out log out); allocates the seen map and the result.
 func (g *Graph) NeighborhoodOf(set []int) []int {
 	seen := make(map[int]bool)
 	for _, v := range set {
@@ -276,6 +292,7 @@ func (g *Graph) NeighborhoodOf(set []int) []int {
 
 // InducedSubgraph returns the subgraph induced by the given vertex set,
 // together with the mapping from new vertex indices to original ones.
+// O(m + |vertices| log |vertices|); allocates the subgraph and mapping.
 func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int) {
 	keep := make([]int, 0, len(vertices))
 	seen := make(map[int]bool, len(vertices))
@@ -306,7 +323,8 @@ func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int) {
 // returned graph keeps the original vertex numbering of g (vertices not
 // touched by T are present but isolated in the returned graph only if their
 // index is below the maximum touched index; use the second return value for
-// the exact vertex set V(T)).
+// the exact vertex set V(T)). O(n + |edges| log |edges|); allocates the
+// subgraph and the sorted vertex set.
 func (g *Graph) SubgraphOfEdges(edges []Edge) (*Graph, []int) {
 	sub := New(g.n)
 	touched := make(map[int]bool)
@@ -329,7 +347,8 @@ func (g *Graph) SubgraphOfEdges(edges []Edge) (*Graph, []int) {
 }
 
 // IsConnected reports whether g is connected. The empty graph and the
-// single-vertex graph are considered connected.
+// single-vertex graph are considered connected. O(n + m); allocates BFS
+// scratch.
 func (g *Graph) IsConnected() bool {
 	if g.n <= 1 {
 		return true
@@ -359,6 +378,7 @@ func (g *Graph) componentOf(start int) []int {
 
 // ConnectedComponents returns the vertex sets of the connected components,
 // each sorted ascending, ordered by smallest contained vertex.
+// O(n log n + m); allocates the component slices and BFS scratch.
 func (g *Graph) ConnectedComponents() [][]int {
 	visited := make([]bool, g.n)
 	var comps [][]int
@@ -378,7 +398,8 @@ func (g *Graph) ConnectedComponents() [][]int {
 
 // Bipartition attempts to 2-color g. On success it returns side[v] in {0,1}
 // for every vertex. Isolated vertices are assigned side 0. If g contains an
-// odd cycle it returns ErrNotBipartite.
+// odd cycle it returns ErrNotBipartite. O(n + m); allocates the side
+// array and BFS queue. CSR counterpart: (*CSR).Bipartition.
 func (g *Graph) Bipartition() ([]int, error) {
 	side := make([]int, g.n)
 	for i := range side {
@@ -406,14 +427,15 @@ func (g *Graph) Bipartition() ([]int, error) {
 	return side, nil
 }
 
-// IsBipartite reports whether g has no odd cycle.
+// IsBipartite reports whether g has no odd cycle. O(n + m); allocates
+// Bipartition's scratch.
 func (g *Graph) IsBipartite() bool {
 	_, err := g.Bipartition()
 	return err == nil
 }
 
 // IsRegular reports whether every vertex has the same degree, returning that
-// degree. The empty graph is 0-regular.
+// degree. The empty graph is 0-regular. O(n), does not allocate.
 func (g *Graph) IsRegular() (bool, int) {
 	if g.n == 0 {
 		return true, 0
@@ -427,7 +449,7 @@ func (g *Graph) IsRegular() (bool, int) {
 	return true, d
 }
 
-// String renders a short human-readable summary.
+// String renders a short human-readable summary. Allocates the string.
 func (g *Graph) String() string {
 	return fmt.Sprintf("graph{n=%d m=%d}", g.n, len(g.edges))
 }

@@ -24,9 +24,11 @@ var ErrBadGraph6 = errors.New("graph: malformed graph6")
 // vertex count must use its canonical header form, the byte count must
 // match exactly, and padding bits in the final adjacency byte must be
 // zero, so every accepted string satisfies FormatGraph6(ParseGraph6(s)) ==
-// s (after trimming). Strictness matters beyond hygiene — graph6 strings
-// key the structure and response caches, and a lax parser would let one
-// graph hide under several keys.
+// s (after trimming) — the round-trip identity fuzzed by FuzzParseGraph6
+// and relied on by every graph6-keyed cache. Strictness matters beyond
+// hygiene — graph6 strings key the structure and response caches, and a
+// lax parser would let one graph hide under several keys. O(n^2) (the
+// full upper triangle is scanned); allocates the graph.
 func ParseGraph6(s string) (*Graph, error) {
 	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), ">>graph6<<"))
 	if s == "" {
@@ -95,7 +97,10 @@ func ParseGraph6(s string) (*Graph, error) {
 }
 
 // FormatGraph6 encodes g as a graph6 string. Graphs beyond 258047 vertices
-// are rejected.
+// are rejected. The encoding is canonical — one byte sequence per graph —
+// so FormatGraph6 inverts ParseGraph6 exactly: Format(Parse(s)) == s for
+// every accepted s, and Parse(Format(g)) reproduces g's edge set. O(n^2);
+// allocates the output string.
 func FormatGraph6(g *Graph) (string, error) {
 	n := g.NumVertices()
 	if n > 258047 {

@@ -21,6 +21,8 @@ import (
 // the largest endpoint mentioned.
 
 // Parse reads a graph in edge-list format from r.
+// O(input + m AddEdge insertions); allocates the returned graph and
+// line-scanning scratch.
 func Parse(r io.Reader) (*Graph, error) {
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -84,10 +86,12 @@ func Parse(r io.Reader) (*Graph, error) {
 }
 
 // ParseString parses an edge list from a string (see Parse).
+// Cost of Parse; allocates the string reader.
 func ParseString(s string) (*Graph, error) { return Parse(strings.NewReader(s)) }
 
 // Write serializes g in edge-list format, including the "n" header so that
 // trailing isolated vertices round-trip.
+// O(n + m); allocates the formatting buffers.
 func (g *Graph) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "n %d\n", g.n); err != nil {
@@ -105,6 +109,7 @@ func (g *Graph) Write(w io.Writer) error {
 }
 
 // EncodeString serializes g in edge-list format to a string.
+// O(n + m); allocates the returned string.
 func (g *Graph) EncodeString() string {
 	var sb strings.Builder
 	// lint:invariant(errlost): strings.Builder writes cannot fail
@@ -114,6 +119,7 @@ func (g *Graph) EncodeString() string {
 
 // DOT renders g in Graphviz DOT syntax. highlight is an optional set of
 // edges to emphasize (drawn bold); pass nil for a plain rendering.
+// O(n + m·|highlight|); allocates the returned string.
 func (g *Graph) DOT(name string, highlight []Edge) string {
 	emph := make(map[Edge]bool, len(highlight))
 	for _, e := range highlight {

@@ -8,6 +8,7 @@ import "fmt"
 
 // Complement returns the simple complement of g: same vertices, an edge
 // exactly where g has none.
+// O(n^2) insertions; allocates the returned graph.
 func (g *Graph) Complement() *Graph {
 	c := New(g.n)
 	for u := 0; u < g.n; u++ {
@@ -24,6 +25,7 @@ func (g *Graph) Complement() *Graph {
 // with two vertices adjacent iff the underlying edges share an endpoint.
 // Defender tuples of Π_k(G) correspond to k-vertex subsets of L(G);
 // tuples of pairwise disjoint edges correspond to independent sets.
+// O(Σ d(v)^2) insertions; allocates the returned graph.
 func (g *Graph) LineGraph() *Graph {
 	m := g.NumEdges()
 	l := New(m)
@@ -41,6 +43,7 @@ func (g *Graph) LineGraph() *Graph {
 
 // DisjointUnion returns the graph consisting of g followed by h on a
 // shifted vertex range, along with the offset of h's vertices.
+// O(n + m) over both inputs; allocates the returned graph.
 func DisjointUnion(g, h *Graph) (*Graph, int) {
 	offset := g.n
 	u := New(g.n + h.n)
@@ -55,9 +58,11 @@ func DisjointUnion(g, h *Graph) (*Graph, int) {
 
 // Ladder returns the ladder graph L_n: two parallel paths of n vertices
 // with rungs between them (the 2×n grid).
+// O(n); allocates the returned graph.
 func Ladder(n int) *Graph { return Grid(2, n) }
 
 // Barbell returns two K_c cliques joined by a single bridge edge.
+// O(c^2) insertions; allocates the returned graph.
 func Barbell(c int) *Graph {
 	g := New(2 * c)
 	for u := 0; u < c; u++ {
@@ -74,6 +79,7 @@ func Barbell(c int) *Graph {
 
 // Lollipop returns K_c with a path of p extra vertices hanging off
 // vertex c−1.
+// O(c^2 + p) insertions; allocates the returned graph.
 func Lollipop(c, p int) *Graph {
 	g := New(c + p)
 	for u := 0; u < c; u++ {
@@ -91,6 +97,7 @@ func Lollipop(c, p int) *Graph {
 
 // CompleteBinaryTree returns the complete binary tree with the given
 // number of levels (level 1 = a single root), n = 2^levels − 1 vertices.
+// O(2^levels); allocates the returned graph.
 func CompleteBinaryTree(levels int) *Graph {
 	if levels < 1 {
 		return New(0)
@@ -106,6 +113,7 @@ func CompleteBinaryTree(levels int) *Graph {
 // Caterpillar returns a spine path of s vertices with legs pendant leaves
 // attached to every spine vertex. Spine vertices are 0..s−1; the legs of
 // spine vertex i are s+i·legs .. s+(i+1)·legs−1.
+// O(s·legs); allocates the returned graph.
 func Caterpillar(s, legs int) *Graph {
 	g := New(s + s*legs)
 	for v := 0; v+1 < s; v++ {
@@ -121,6 +129,7 @@ func Caterpillar(s, legs int) *Graph {
 
 // MustEdge returns the edge {u, v} of g, panicking if absent — a test and
 // example helper for statically-known edges.
+// O(1) expected, does not allocate (panics on a missing edge).
 func (g *Graph) MustEdge(u, v int) Edge {
 	if !g.HasEdge(u, v) {
 		// lint:invariant(nakedpanic): Must* helper; panicking on a statically-known

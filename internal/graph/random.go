@@ -9,12 +9,14 @@ package graph
 
 // BarabasiAlbert grows a scale-free graph by preferential attachment,
 // drawn with the given seed; see Generator.BarabasiAlbert.
+// Cost of Generator.BarabasiAlbert plus a one-shot generator allocation.
 func BarabasiAlbert(n, attach int, seed int64) *Graph {
 	return NewSeededGenerator(seed).BarabasiAlbert(n, attach)
 }
 
 // WattsStrogatz builds a small-world graph, drawn with the given seed; see
 // Generator.WattsStrogatz.
+// Cost of Generator.WattsStrogatz plus a one-shot generator allocation.
 func WattsStrogatz(n, k int, p float64, seed int64) *Graph {
 	return NewSeededGenerator(seed).WattsStrogatz(n, k, p)
 }

@@ -6,6 +6,7 @@ import "sort"
 // throughout the library. The helpers below normalize and combine them.
 
 // NormalizeSet returns a sorted, duplicate-free copy of vs.
+// O(|vs| log |vs|); allocates the copy.
 func NormalizeSet(vs []int) []int {
 	if len(vs) == 0 {
 		return nil
@@ -24,12 +25,14 @@ func NormalizeSet(vs []int) []int {
 }
 
 // SetContains reports whether sorted set vs contains v.
+// O(log |vs|) binary search, does not allocate.
 func SetContains(vs []int, v int) bool {
 	i := sort.SearchInts(vs, v)
 	return i < len(vs) && vs[i] == v
 }
 
 // SetComplement returns the sorted complement of sorted set vs within 0..n-1.
+// O(n); allocates the result.
 func SetComplement(vs []int, n int) []int {
 	member := make([]bool, n)
 	for _, v := range vs {
@@ -47,6 +50,7 @@ func SetComplement(vs []int, n int) []int {
 }
 
 // SetsEqual reports whether two sorted sets hold the same elements.
+// O(|a|), does not allocate.
 func SetsEqual(a, b []int) bool {
 	if len(a) != len(b) {
 		return false
@@ -60,6 +64,7 @@ func SetsEqual(a, b []int) bool {
 }
 
 // SetUnion returns the sorted union of two sorted sets.
+// O(|a| + |b|); allocates the result.
 func SetUnion(a, b []int) []int {
 	out := make([]int, 0, len(a)+len(b))
 	i, j := 0, 0
@@ -83,6 +88,7 @@ func SetUnion(a, b []int) []int {
 }
 
 // SetIntersection returns the sorted intersection of two sorted sets.
+// O(|a| + |b|); allocates the result.
 func SetIntersection(a, b []int) []int {
 	var out []int
 	i, j := 0, 0
@@ -102,6 +108,7 @@ func SetIntersection(a, b []int) []int {
 }
 
 // SetDifference returns the sorted elements of a not present in b.
+// O(|a| + |b|); allocates the result.
 func SetDifference(a, b []int) []int {
 	var out []int
 	i, j := 0, 0
@@ -121,6 +128,7 @@ func SetDifference(a, b []int) []int {
 }
 
 // IsPartition reports whether sorted sets a and b partition 0..n-1.
+// O(n), does not allocate.
 func IsPartition(a, b []int, n int) bool {
 	if len(a)+len(b) != n {
 		return false

@@ -22,7 +22,9 @@ var (
 // The paper's Corollary 3.2 reduces pure-equilibrium existence to computing
 // a minimum edge cover, which by Gallai's identity requires a maximum
 // matching of a general graph — hence the blossom machinery rather than
-// only Hopcroft–Karp.
+// only Hopcroft–Karp. Allocates the blossom state (several O(n) arrays)
+// and the mate array it returns; for million-vertex bipartite instances
+// use HopcroftKarpCSR instead (see SCALING.md).
 func Maximum(g *graph.Graph) []int {
 	b := newBlossomState(g)
 	// Greedy initialization cuts the number of augmentation phases roughly

@@ -1,0 +1,240 @@
+package matching
+
+import (
+	"fmt"
+
+	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/obs"
+)
+
+// CSR Hopcroft–Karp phase counter (catalogued in OBSERVABILITY.md): one
+// increment per BFS layering that found an augmenting path, mirroring
+// matching.hopcroftkarp.phases for the sparse path so the O(sqrt n) phase
+// bound stays empirically checkable at 10^6 vertices.
+var obsCSRHKPhases = obs.Default().Counter("matching.csr.hopcroftkarp.phases")
+
+// HopcroftKarpCSR computes a maximum matching of a bipartite CSR graph in
+// O(m sqrt n) time. The 2-coloring is supplied as side[v] in {0, 1}; use
+// (*graph.CSR).Bipartition to obtain one. It returns the mate array
+// (mate[v] = partner of v, or Unmatched), validating first that side is a
+// proper 2-coloring so callers cannot silently run it on an odd cycle.
+//
+// This is the scale path: a greedy warm start, BFS layering with bitset
+// frontiers reset in O(n/64) words per phase, and an iterative DFS with a
+// per-vertex edge cursor so each phase touches every arc at most once —
+// no recursion, no per-phase reallocation. Allocates O(n) int32 scratch
+// and two bitsets, once.
+func HopcroftKarpCSR(c *graph.CSR, side []int8) ([]int32, error) {
+	n := c.NumVertices()
+	if len(side) != n {
+		return nil, fmt.Errorf("matching: side array length %d, want %d", len(side), n)
+	}
+	for v := 0; v < n; v++ {
+		if side[v] != 0 && side[v] != 1 {
+			return nil, fmt.Errorf("matching: side[%d]=%d, want 0 or 1", v, side[v])
+		}
+		for _, u := range c.Neighbors(v) {
+			if side[u] == side[v] {
+				return nil, fmt.Errorf("%w: edge (%d,%d) has both endpoints on side %d", graph.ErrNotBipartite, v, u, side[v])
+			}
+		}
+	}
+	return hopcroftKarpCSR(c, side), nil
+}
+
+// HopcroftKarpCSRSubgraph computes a maximum matching of the bipartite
+// subgraph of c induced by the cross edges between side-0 and side-1
+// vertices. Unlike HopcroftKarpCSR it does not validate: side[v] may be -1
+// (vertex excluded) and same-side edges are skipped rather than rejected.
+// This is how the sparse partition search matches VC vertices to distinct
+// IS representatives (Corollary 4.11's SDR) without materializing the
+// auxiliary bipartite graph. Same complexity and allocation profile as
+// HopcroftKarpCSR; excluded vertices stay Unmatched.
+func HopcroftKarpCSRSubgraph(c *graph.CSR, side []int8) []int32 {
+	return hopcroftKarpCSR(c, side)
+}
+
+// hopcroftKarpCSR is the engine behind both entry points: left = side 0,
+// right = side 1, every other vertex and every non-cross edge ignored.
+func hopcroftKarpCSR(c *graph.CSR, side []int8) []int32 {
+	n := c.NumVertices()
+	mate := make([]int32, n)
+	for i := range mate {
+		mate[i] = Unmatched
+	}
+	left := make([]int32, 0, n/2+1)
+	for v := 0; v < n; v++ {
+		if side[v] == 0 {
+			left = append(left, int32(v))
+		}
+	}
+
+	// Greedy warm start: pairs off the easy vertices so the first phases
+	// have fewer augmenting paths to find.
+	for _, v := range left {
+		for _, u := range c.Neighbors(int(v)) {
+			if side[u] == 1 && mate[u] == Unmatched {
+				mate[v], mate[u] = u, v
+				break
+			}
+		}
+	}
+
+	dist := make([]int32, n)
+	ptr := make([]int32, n)
+	queue := make([]int32, 0, len(left))
+	stack := make([]int32, 0, 64)
+	chosen := make([]int32, n)
+	visited := graph.NewBitset(n)
+
+	// bfs layers left vertices by alternating-path distance from the free
+	// ones; dist is only meaningful where visited is set, so the per-phase
+	// reset is the bitset's O(n/64) word clear, not an O(n) fill.
+	bfs := func() bool {
+		visited.Reset()
+		queue = queue[:0]
+		for _, v := range left {
+			if mate[v] == Unmatched {
+				dist[v] = 0
+				visited.Set(v)
+				queue = append(queue, v)
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, u := range c.Neighbors(int(v)) {
+				if side[u] != 1 {
+					continue
+				}
+				w := mate[u]
+				if w == Unmatched {
+					found = true
+				} else if !visited.Has(w) {
+					visited.Set(w)
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	// dfs searches for an augmenting path from root along the BFS layers,
+	// iteratively: the stack holds the left vertices of the current
+	// alternating path, ptr[v] the next arc to try (persisting across
+	// roots, so a phase scans each arc once), chosen[v] the right vertex v
+	// will pair with if the path augments.
+	dfs := func(root int32) bool {
+		stack = append(stack[:0], root)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			advanced := false
+			for ptr[v] < c.RowPtr[v+1] {
+				u := c.Col[ptr[v]]
+				ptr[v]++
+				if side[u] != 1 {
+					continue
+				}
+				w := mate[u]
+				if w == Unmatched {
+					chosen[v] = u
+					for _, x := range stack {
+						y := chosen[x]
+						mate[x], mate[y] = y, x
+					}
+					return true
+				}
+				if visited.Has(w) && dist[w] == dist[v]+1 {
+					chosen[v] = u
+					stack = append(stack, w)
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				stack = stack[:len(stack)-1]
+			}
+		}
+		return false
+	}
+
+	for bfs() {
+		obsCSRHKPhases.Inc()
+		copy(ptr, c.RowPtr[:n])
+		for _, v := range left {
+			if mate[v] == Unmatched {
+				dfs(v)
+			}
+		}
+	}
+	return mate
+}
+
+// MaximumBipartiteCSR computes a maximum matching of a CSR graph, deriving
+// the bipartition itself and returning it alongside the mate array (König
+// conversion needs both). Returns graph.ErrNotBipartite on an odd cycle.
+// O(m sqrt n); allocates the side and mate arrays plus the engine scratch.
+func MaximumBipartiteCSR(c *graph.CSR) ([]int32, []int8, error) {
+	side, err := c.Bipartition()
+	if err != nil {
+		return nil, nil, err
+	}
+	mate := hopcroftKarpCSR(c, side)
+	return mate, side, nil
+}
+
+// SizeCSR returns the number of edges in the matching encoded by an int32
+// mate array. O(n), does not allocate.
+func SizeCSR(mate []int32) int {
+	count := 0
+	for v, u := range mate {
+		if u != Unmatched && int(u) > v {
+			count++
+		}
+	}
+	return count
+}
+
+// KonigVertexCoverCSR converts a maximum matching of a bipartite CSR graph
+// into a minimum vertex cover using König's theorem, exactly like
+// KonigVertexCover but on the sparse path: alternating BFS from the free
+// left vertices with a bitset reachability set, cover = unreached left +
+// reached right, ascending. side must be the 2-coloring the matching was
+// computed with and mate a maximum matching. O(n + m); allocates the
+// cover, a queue, and one bitset.
+func KonigVertexCoverCSR(c *graph.CSR, side []int8, mate []int32) []int32 {
+	n := c.NumVertices()
+	reached := graph.NewBitset(n)
+	queue := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if side[v] == 0 && mate[v] == Unmatched {
+			reached.Set(int32(v))
+			queue = append(queue, int32(v))
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		if side[v] == 0 {
+			// Leave the left side via non-matching edges.
+			for _, u := range c.Neighbors(int(v)) {
+				if mate[v] != u && !reached.Has(u) {
+					reached.Set(u)
+					queue = append(queue, u)
+				}
+			}
+		} else if w := mate[v]; w != Unmatched && !reached.Has(w) {
+			// Return to the left side via the matching edge.
+			reached.Set(w)
+			queue = append(queue, w)
+		}
+	}
+	var cover []int32
+	for v := 0; v < n; v++ {
+		r := reached.Has(int32(v))
+		if (side[v] == 0 && !r) || (side[v] == 1 && r) {
+			cover = append(cover, int32(v))
+		}
+	}
+	return cover
+}

@@ -19,6 +19,7 @@ var obsHKPhases = obs.Default().Counter("matching.hopcroftkarp.phases")
 //
 // The function validates that side is a proper 2-coloring of g and returns
 // an error otherwise, so callers cannot silently run it on an odd cycle.
+// Allocates the mate array plus per-phase BFS/DFS scratch.
 func HopcroftKarp(g *graph.Graph, side []int) ([]int, error) {
 	n := g.NumVertices()
 	if len(side) != n {
@@ -105,6 +106,7 @@ func HopcroftKarp(g *graph.Graph, side []int) ([]int, error) {
 
 // MaximumBipartite computes a maximum matching of g, deriving the
 // bipartition itself. It returns graph.ErrNotBipartite if g has an odd cycle.
+// O(m sqrt n); allocates the side array plus HopcroftKarp's scratch.
 func MaximumBipartite(g *graph.Graph) ([]int, error) {
 	side, err := g.Bipartition()
 	if err != nil {
@@ -120,6 +122,7 @@ func MaximumBipartite(g *graph.Graph) ([]int, error) {
 //
 // side must be the same 2-coloring the matching was computed with, and mate
 // a *maximum* matching (the construction is only a vertex cover then).
+// O(n + m); allocates the cover and the BFS scratch.
 func KonigVertexCover(g *graph.Graph, side []int, mate []int) []int {
 	n := g.NumVertices()
 	reached := make([]bool, n)

@@ -25,6 +25,7 @@ var ErrNotMatching = errors.New("matching: edge set is not a matching")
 const Unmatched = -1
 
 // NewMateArray returns a mate array of length n with every vertex unmatched.
+// O(n); allocates the array.
 func NewMateArray(n int) []int {
 	mate := make([]int, n)
 	for i := range mate {
@@ -35,7 +36,7 @@ func NewMateArray(n int) []int {
 
 // CloneMate returns an independent copy of a mate array. Concurrency-safe
 // caches hand out clones so a caller mutating its copy cannot corrupt the
-// cached matching.
+// cached matching. O(n); allocates the copy.
 func CloneMate(mate []int) []int {
 	if mate == nil {
 		return nil
@@ -46,6 +47,7 @@ func CloneMate(mate []int) []int {
 }
 
 // Size returns the number of edges in the matching encoded by mate.
+// O(n), does not allocate.
 func Size(mate []int) int {
 	c := 0
 	for v, u := range mate {
@@ -56,7 +58,8 @@ func Size(mate []int) int {
 	return c
 }
 
-// Edges converts a mate array into a normalized edge list.
+// Edges converts a mate array into a normalized edge list. O(n);
+// allocates the list.
 func Edges(mate []int) []graph.Edge {
 	var out []graph.Edge
 	for v, u := range mate {
@@ -70,6 +73,7 @@ func Edges(mate []int) []graph.Edge {
 // FromEdges converts an edge list into a mate array for a graph on n
 // vertices. It returns ErrNotMatching if two edges share a vertex, and an
 // error if an endpoint is out of range or an edge is a self-loop.
+// O(n + |edges|); allocates the mate array.
 func FromEdges(n int, edges []graph.Edge) ([]int, error) {
 	mate := NewMateArray(n)
 	for _, e := range edges {
@@ -89,7 +93,8 @@ func FromEdges(n int, edges []graph.Edge) ([]int, error) {
 }
 
 // IsMatching reports whether edges is a matching of g: every edge belongs to
-// g and no two edges share an endpoint.
+// g and no two edges share an endpoint. O(|edges|) expected (edge-id map
+// lookups); allocates a scratch endpoint set.
 func IsMatching(g *graph.Graph, edges []graph.Edge) bool {
 	used := make(map[int]bool, 2*len(edges))
 	for _, e := range edges {
@@ -105,12 +110,14 @@ func IsMatching(g *graph.Graph, edges []graph.Edge) bool {
 	return true
 }
 
-// IsPerfect reports whether edges is a perfect matching of g.
+// IsPerfect reports whether edges is a perfect matching of g. Cost of
+// IsMatching: O(|edges|) expected, allocates its scratch set.
 func IsPerfect(g *graph.Graph, edges []graph.Edge) bool {
 	return IsMatching(g, edges) && 2*len(edges) == g.NumVertices()
 }
 
 // Saturates reports whether every vertex of sorted set vs is matched in mate.
+// O(|vs|), does not allocate.
 func Saturates(mate []int, vs []int) bool {
 	for _, v := range vs {
 		if v < 0 || v >= len(mate) || mate[v] == Unmatched {
@@ -122,7 +129,8 @@ func Saturates(mate []int, vs []int) bool {
 
 // Greedy returns a maximal (not necessarily maximum) matching of g, built by
 // scanning the edge list once. Useful as a fast 2-approximation and as a
-// warm start for the exact algorithms.
+// warm start for the exact algorithms. O(n + m); allocates the mate array
+// and the edge-list copy it scans.
 func Greedy(g *graph.Graph) []int {
 	mate := NewMateArray(g.NumVertices())
 	for _, e := range g.Edges() {
@@ -135,7 +143,8 @@ func Greedy(g *graph.Graph) []int {
 }
 
 // Verify checks that mate is a well-formed symmetric mate array over edges
-// of g. It is used by tests and by debug assertions.
+// of g. It is used by tests and by debug assertions. O(n) expected
+// (edge-map lookups); does not allocate beyond the returned error.
 func Verify(g *graph.Graph, mate []int) error {
 	if len(mate) != g.NumVertices() {
 		return fmt.Errorf("matching: mate array length %d, want %d", len(mate), g.NumVertices())

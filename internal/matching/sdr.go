@@ -21,7 +21,8 @@ import (
 // Passing allowed == nil permits every vertex of g as a representative,
 // which decides the literal S-expander definition of the paper's Section 2.
 //
-// The implementation is Kuhn's augmenting-path algorithm, O(|s| * m). Note
+// The implementation is Kuhn's augmenting-path algorithm, O(|s| * m); it
+// allocates the assignment map and O(n) search scratch. Note
 // that a vertex of s may itself serve as a representative of another vertex
 // of s (the left and right sides of the auxiliary bipartite structure are
 // disjoint copies), which is exactly what the literal definition asks for.
