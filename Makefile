@@ -4,11 +4,11 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test lint vet race bench bench-kernel bench-scaling benchdiff fuzz-smoke linkcheck loadtest check
+.PHONY: all build test lint vet race bench bench-kernel bench-scaling benchdiff fuzz-smoke linkcheck loadtest trace-smoke check
 
 # DOCS is the documentation set linkcheck keeps honest (relative links and
 # heading anchors; see cmd/linkcheck).
-DOCS = README.md DESIGN.md EXPERIMENTS.md OBSERVABILITY.md SCALING.md
+DOCS = README.md DESIGN.md EXPERIMENTS.md OBSERVABILITY.md SCALING.md TRACING.md
 
 all: check
 
@@ -106,6 +106,47 @@ loadtest:
 	./bin/loadgen -addr http://$(LOADTEST_ADDR) -duration $(LOADTEST_DURATION) \
 		-concurrency $(LOADTEST_CONCURRENCY) -min-rps $(LOADTEST_MIN_RPS) \
 		-bench-out BENCH_loadgen.json -bench-history $(LOADTEST_HISTORY)
+
+# trace-smoke proves the tracing pipeline end-to-end (TRACING.md): boot
+# defenderd with full sampling, a trace sink and a request log, drive it
+# with loadgen, drain gracefully, then assert the capture — every trace
+# connected with a server.solve root (tracetool -check), the broker's
+# queue-wait span present, the tail traceable (-p99), and the Prometheus
+# exposition carrying trace_id exemplars. Leaves trace_smoke.jsonl,
+# requests_smoke.jsonl, metrics_smoke.prom and BENCH_tracegen.json
+# behind for inspection; CI's trace-smoke job adds jq assertions on top.
+TRACESMOKE_ADDR ?= 127.0.0.1:18212
+TRACESMOKE_DEBUG_ADDR ?= 127.0.0.1:18213
+TRACESMOKE_DURATION ?= 5s
+trace-smoke:
+	@mkdir -p bin
+	$(GO) build -o bin/defenderd ./cmd/defenderd
+	$(GO) build -o bin/loadgen ./cmd/loadgen
+	$(GO) build -o bin/tracetool ./cmd/tracetool
+	@set -e; \
+	./bin/defenderd -addr $(TRACESMOKE_ADDR) -debug-addr $(TRACESMOKE_DEBUG_ADDR) \
+		-trace-out trace_smoke.jsonl -trace-sample 1.0 -log-out requests_smoke.jsonl & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; wait $$pid 2>/dev/null' EXIT INT TERM; \
+	ok=0; \
+	for i in $$(seq 1 100); do \
+		if curl -fsS -o /dev/null http://$(TRACESMOKE_ADDR)/healthz 2>/dev/null; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "trace-smoke: defenderd never became healthy on $(TRACESMOKE_ADDR)"; exit 1; }; \
+	curl -fsS http://$(TRACESMOKE_ADDR)/readyz > readyz_smoke.json; \
+	./bin/loadgen -addr http://$(TRACESMOKE_ADDR) -duration $(TRACESMOKE_DURATION) \
+		-concurrency $(LOADTEST_CONCURRENCY) -min-rps $(LOADTEST_MIN_RPS) \
+		-bench-out BENCH_tracegen.json; \
+	curl -fsS "http://$(TRACESMOKE_DEBUG_ADDR)/metrics?format=prometheus" > metrics_smoke.prom; \
+	curl -fsS http://$(TRACESMOKE_DEBUG_ADDR)/slo > slo_smoke.json; \
+	kill -TERM $$pid; wait $$pid 2>/dev/null || true; \
+	trap - EXIT INT TERM; \
+	./bin/tracetool -check -require server.solve trace_smoke.jsonl; \
+	./bin/tracetool trace_smoke.jsonl | grep -q 'broker\.queue_wait' \
+		|| { echo "trace-smoke: no broker.queue_wait span captured"; exit 1; }; \
+	./bin/tracetool -p99 server.solve.seconds trace_smoke.jsonl; \
+	grep -q '# {trace_id=' metrics_smoke.prom \
+		|| { echo "trace-smoke: no trace_id exemplars in the Prometheus exposition"; exit 1; }
 
 linkcheck:
 	$(GO) run ./cmd/linkcheck $(DOCS)

@@ -11,14 +11,19 @@
 // Usage:
 //
 //	defenderd [-addr :8080] [-debug-addr HOST:PORT] [-workers N]
-//	          [-queue-cap N] [-sync-wait 2s] [-solve-timeout 60s]
-//	          [-max-vertices 256] [-trace-out FILE]
+//	          [-queue-cap N] [-queue-high-water N] [-sync-wait 2s]
+//	          [-solve-timeout 60s] [-max-vertices 256] [-trace-out FILE]
+//	          [-trace-sample 1.0] [-log-out FILE]
 //
-// -debug-addr exposes /metrics (JSON or Prometheus exposition), expvar
-// and net/http/pprof on a separate, private mux — the public -addr only
-// ever serves the /v1 API and /healthz. -trace-out streams span events
-// (one "server.solve" span per solve, annotated with graph6, k and
-// outcome) as JSONL. SIGINT/SIGTERM drain in-flight solves before exit.
+// -debug-addr exposes /metrics (JSON or Prometheus exposition), /slo,
+// expvar and net/http/pprof on a separate, private mux — the public
+// -addr only ever serves the /v1 API, /healthz and /readyz. -trace-out
+// streams span events as JSONL: every request is assigned (or keeps, via
+// the X-Defender-Trace-Id header) a trace id, and the spans of a sampled
+// request — server.solve, broker.queue_wait, and the solver stages under
+// them — share it (see TRACING.md). -trace-sample tunes the head-based
+// sampling rate; -log-out streams one structured JSONL line per request.
+// SIGINT/SIGTERM drain in-flight solves before exit.
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"time"
 
 	"github.com/defender-game/defender/internal/obs"
+	obslog "github.com/defender-game/defender/internal/obs/log"
 	"github.com/defender-game/defender/internal/server"
 )
 
@@ -61,12 +67,26 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		solveTimeout = fs.Duration("solve-timeout", 0, "per-solve deadline (0 = default 60s)")
 		maxVertices  = fs.Int("max-vertices", 0, "largest accepted graph (0 = default 256)")
 		traceOut     = fs.String("trace-out", "", "stream span events as JSONL to this file")
+		traceSample  = fs.Float64("trace-sample", 1.0, "head-based trace sampling rate in [0, 1]")
+		logOut       = fs.String("log-out", "", "stream structured request logs as JSONL to this file")
+		queueHW      = fs.Int("queue-high-water", 0, "queue depth at which /readyz reports unready (0 = 3/4 of queue-cap)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *traceSample < 0 || *traceSample > 1 {
+		return fmt.Errorf("trace-sample: rate %v outside [0, 1]", *traceSample)
+	}
+	sampleRate := *traceSample
+	// Config treats 0 as "default to 1.0"; an explicit -trace-sample 0
+	// means "never sample", which any negative rate encodes.
+	// lint:invariant(floateq): comparing the flag against its literal zero
+	// sentinel, not a computed float.
+	if sampleRate == 0 {
+		sampleRate = -1
 	}
 
 	reg := obs.Default()
@@ -82,21 +102,35 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 			f.Close()
 		}()
 	}
-	if *debugAddr != "" {
-		bound, err := obs.StartDebugServer(*debugAddr, reg)
+	var requestLog *obslog.Logger
+	if *logOut != "" {
+		f, err := os.Create(*logOut)
 		if err != nil {
-			return fmt.Errorf("debug-addr: %w", err)
+			return fmt.Errorf("log-out: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "defenderd: debug server on http://%s (/metrics, /debug/pprof/, /debug/vars)\n", bound)
+		defer f.Close()
+		requestLog = obslog.New(f)
 	}
 
 	api := server.New(server.Config{
-		Workers:      *workers,
-		QueueCap:     *queueCap,
-		SyncWait:     *syncWait,
-		SolveTimeout: *solveTimeout,
-		MaxVertices:  *maxVertices,
+		Workers:         *workers,
+		QueueCap:        *queueCap,
+		SyncWait:        *syncWait,
+		SolveTimeout:    *solveTimeout,
+		MaxVertices:     *maxVertices,
+		TraceSampleRate: sampleRate,
+		QueueHighWater:  *queueHW,
+		RequestLog:      requestLog,
 	})
+	if *debugAddr != "" {
+		bound, err := obs.StartDebugServerWith(*debugAddr, reg, map[string]http.Handler{
+			"/slo": api.SLOHandler(),
+		})
+		if err != nil {
+			return fmt.Errorf("debug-addr: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "defenderd: debug server on http://%s (/metrics, /slo, /debug/pprof/, /debug/vars)\n", bound)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -109,11 +110,92 @@ func TestTraceOut(t *testing.T) {
 	}
 }
 
+// TestTraceHeaderAndRequestLog: the daemon wires tracing end to end — the
+// response carries X-Defender-Trace-Id, the -trace-out spans share that
+// trace id, and the -log-out request log records it.
+func TestTraceHeaderAndRequestLog(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	reqlog := filepath.Join(dir, "requests.jsonl")
+	base, shutdown := bootServer(t, "-trace-out", trace, "-log-out", reqlog, "-trace-sample", "1.0")
+	resp, err := http.Post(base+"/v1/solve", "application/json",
+		strings.NewReader(`{"n":2,"edges":[[0,1]],"k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	traceID := resp.Header.Get("X-Defender-Trace-Id")
+	if len(traceID) != 32 {
+		t.Fatalf("X-Defender-Trace-Id = %q, want 32 hex chars", traceID)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(spans), traceID) {
+		t.Errorf("trace stream lacks the response's trace id %s:\n%s", traceID, spans)
+	}
+	logged, err := os.ReadFile(reqlog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(logged), traceID) || !strings.Contains(string(logged), `"event":"request"`) {
+		t.Errorf("request log lacks the traced request:\n%s", logged)
+	}
+}
+
+// TestSLOEndpoint: the debug mux serves the SLO window as JSON.
+func TestSLOEndpoint(t *testing.T) {
+	// The debug listener's bound address is only printed to stderr, so
+	// reserve a free port up front and pass it explicitly.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	debugAddr := ln.Addr().String()
+	ln.Close()
+	base, shutdown := bootServer(t, "-debug-addr", debugAddr)
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	resp, err := http.Post(base+"/v1/solve", "application/json",
+		strings.NewReader(`{"n":2,"edges":[[0,1]],"k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	sloResp, err := http.Get("http://" + debugAddr + "/slo")
+	if err != nil {
+		t.Fatalf("GET /slo: %v", err)
+	}
+	defer sloResp.Body.Close()
+	var status struct {
+		Requests int64 `json:"requests"`
+	}
+	if err := json.NewDecoder(sloResp.Body).Decode(&status); err != nil {
+		t.Fatalf("decode /slo: %v", err)
+	}
+	if status.Requests < 1 {
+		t.Errorf("/slo requests = %d, want >= 1", status.Requests)
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "positional"}, nil); err == nil {
 		t.Error("positional arguments must be rejected")
 	}
 	if err := run(context.Background(), []string{"-trace-out", "/nonexistent-dir/t.jsonl"}, nil); err == nil {
 		t.Error("unwritable trace-out path must fail")
+	}
+	if err := run(context.Background(), []string{"-log-out", "/nonexistent-dir/r.jsonl"}, nil); err == nil {
+		t.Error("unwritable log-out path must fail")
+	}
+	if err := run(context.Background(), []string{"-trace-sample", "1.5"}, nil); err == nil {
+		t.Error("trace-sample outside [0, 1] must be rejected")
 	}
 }

@@ -27,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -156,7 +157,13 @@ func run(args []string) error {
 		// -bench-repeat passes only contribute timing samples.
 		samples := make([]benchrec.Table, 0, *benchRepeat)
 		for pass := 0; pass < *benchRepeat; pass++ {
-			sp := reg.StartSpan("experiments.table")
+			// Each table pass roots its own always-sampled trace, so
+			// -trace-out output groups passes by trace_id and tracetool
+			// can summarize them individually. Cell builders run solver
+			// spans without a ctx (free-standing), so only the table
+			// span itself carries the trace.
+			ctx := obs.ContextWithTrace(context.Background(), obs.StartTrace(1.0))
+			sp, _ := reg.StartSpanCtx(ctx, "experiments.table")
 			sp.Annotate("id", e.ID)
 			tableStart := time.Now()
 			table, err := e.Run(cfg)

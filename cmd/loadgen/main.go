@@ -55,6 +55,11 @@ type result struct {
 	latencies []time.Duration
 	errors    int
 	lastErr   error
+	// slowest / slowestTrace track the worker's worst request and its
+	// X-Defender-Trace-Id, so the bench record can point at the waterfall
+	// of the run's max-latency outlier (tracetool -trace ID).
+	slowest      time.Duration
+	slowestTrace string
 }
 
 // run executes the load phase and returns an error when the run itself
@@ -107,7 +112,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	// Warm-up: one full solve primes the response cache (and proves the
 	// target is actually up) before the clock starts.
-	if status, err := post(client, url, body); err != nil {
+	if status, _, err := post(client, url, body); err != nil {
 		return fmt.Errorf("warm-up request: %w", err)
 	} else if status != http.StatusOK {
 		return fmt.Errorf("warm-up request: status %d (is defenderd serving %s?)", status, *spec)
@@ -123,7 +128,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
 				t0 := time.Now()
-				status, err := post(client, url, body)
+				status, traceID, err := post(client, url, body)
 				if err != nil || status != http.StatusOK {
 					res.errors++
 					if err == nil {
@@ -132,7 +137,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 					res.lastErr = err
 					continue
 				}
-				res.latencies = append(res.latencies, time.Since(t0))
+				lat := time.Since(t0)
+				res.latencies = append(res.latencies, lat)
+				if lat > res.slowest {
+					res.slowest = lat
+					res.slowestTrace = traceID
+				}
 			}
 		}(&results[w])
 	}
@@ -142,11 +152,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var all []time.Duration
 	errCount := 0
 	var lastErr error
+	var slowest time.Duration
+	slowestTrace := ""
 	for i := range results {
 		all = append(all, results[i].latencies...)
 		errCount += results[i].errors
 		if results[i].lastErr != nil {
 			lastErr = results[i].lastErr
+		}
+		if results[i].slowest > slowest {
+			slowest = results[i].slowest
+			slowestTrace = results[i].slowestTrace
 		}
 	}
 	if len(all) == 0 {
@@ -162,6 +178,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		len(all), elapsed.Seconds(), *concurrency, rps, errCount)
 	fmt.Fprintf(stdout, "loadgen: latency p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms\n",
 		ms(p50), ms(p95), ms(p99), ms(max))
+	if slowestTrace != "" {
+		fmt.Fprintf(stdout, "loadgen: slowest request trace %s (tracetool -trace %s TRACE.jsonl)\n",
+			slowestTrace, slowestTrace)
+	}
 
 	rep := &benchrec.Report{
 		Suite:            "loadgen",
@@ -171,17 +191,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		BenchRepeat:      1,
 		TotalWallMS:      ms(elapsed),
 		Tables: []benchrec.Table{{
-			ID:          "serve_solve",
-			Rows:        1,
-			Cells:       len(all),
-			CellTiming:  true,
-			Samples:     1,
-			WallMS:      ms(elapsed),
-			CellsPerSec: rps,
-			CellP50MS:   ms(p50),
-			CellP95MS:   ms(p95),
-			CellP99MS:   ms(p99),
-			CellMaxMS:   ms(max),
+			ID:             "serve_solve",
+			Rows:           1,
+			Cells:          len(all),
+			CellTiming:     true,
+			Samples:        1,
+			WallMS:         ms(elapsed),
+			CellsPerSec:    rps,
+			CellP50MS:      ms(p50),
+			CellP95MS:      ms(p95),
+			CellP99MS:      ms(p99),
+			CellMaxMS:      ms(max),
+			SlowestTraceID: slowestTrace,
 		}},
 		Metrics: obs.Default().Snapshot(),
 	}
@@ -220,18 +241,20 @@ func requestBody(g6 string, k, attackers int) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-// post sends one solve request and fully drains the response so the
-// connection is reused.
-func post(client *http.Client, url string, body []byte) (int, error) {
+// post sends one solve request, fully drains the response so the
+// connection is reused, and returns the status plus the response's
+// X-Defender-Trace-Id.
+func post(client *http.Client, url string, body []byte) (int, string, error) {
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	defer resp.Body.Close()
+	traceID := resp.Header.Get("X-Defender-Trace-Id")
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return resp.StatusCode, err
+		return resp.StatusCode, traceID, err
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, traceID, nil
 }
 
 // percentile is the nearest-rank percentile of a sorted sample.

@@ -67,6 +67,14 @@ func TestRunAgainstLiveServer(t *testing.T) {
 	if tab.CellP50MS <= 0 || tab.CellP99MS < tab.CellP50MS {
 		t.Errorf("percentiles not monotone: p50 %.3f p99 %.3f", tab.CellP50MS, tab.CellP99MS)
 	}
+	// Every response carries X-Defender-Trace-Id, so the record must
+	// link its worst request to a trace.
+	if len(tab.SlowestTraceID) != 32 {
+		t.Errorf("slowest_trace_id = %q, want a 32-hex trace id", tab.SlowestTraceID)
+	}
+	if !strings.Contains(stdout.String(), "slowest request trace "+tab.SlowestTraceID) {
+		t.Errorf("summary does not name the slowest trace:\n%s", stdout.String())
+	}
 	paths, err := benchrec.ListHistory(hist)
 	if err != nil || len(paths) != 1 {
 		t.Errorf("history append: %v, %v", paths, err)

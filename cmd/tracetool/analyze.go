@@ -1,0 +1,391 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/defender-game/defender/internal/obs"
+)
+
+// loadEvents parses one span event per line. Blank lines are tolerated
+// (trailing newline); malformed lines are an error, because a half-written
+// trace file should fail a CI gate loudly rather than skew its numbers.
+func loadEvents(r io.Reader) ([]obs.SpanEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var events []obs.SpanEvent
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var ev obs.SpanEvent
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if ev.Name == "" {
+			return nil, fmt.Errorf("line %d: span event without a name", line)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// trace is one reassembled request: every event sharing a trace_id, in
+// start-time order.
+type trace struct {
+	id    string
+	spans []obs.SpanEvent
+}
+
+// start is the earliest span start of the trace.
+func (t *trace) start() int64 {
+	if len(t.spans) == 0 {
+		return 0
+	}
+	return t.spans[0].StartUnixNS
+}
+
+// end is the latest span end of the trace.
+func (t *trace) end() int64 {
+	var max int64
+	for _, sp := range t.spans {
+		if e := sp.StartUnixNS + sp.DurNS; e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// root returns the trace's root span (empty parent_id) and whether exactly
+// one exists.
+func (t *trace) root() (obs.SpanEvent, bool) {
+	var root obs.SpanEvent
+	n := 0
+	for _, sp := range t.spans {
+		if sp.ParentID == "" {
+			root = sp
+			n++
+		}
+	}
+	return root, n == 1
+}
+
+// buildTraces groups traced events by trace_id; free-standing events
+// (empty trace_id) are not part of any trace. Spans within a trace sort by
+// start time, span id breaking ties so the order is total.
+func buildTraces(events []obs.SpanEvent) map[string]*trace {
+	traces := make(map[string]*trace)
+	for _, ev := range events {
+		if ev.TraceID == "" {
+			continue
+		}
+		t := traces[ev.TraceID]
+		if t == nil {
+			t = &trace{id: ev.TraceID}
+			traces[ev.TraceID] = t
+		}
+		t.spans = append(t.spans, ev)
+	}
+	for _, t := range traces {
+		sort.Slice(t.spans, func(i, j int) bool {
+			if t.spans[i].StartUnixNS != t.spans[j].StartUnixNS {
+				return t.spans[i].StartUnixNS < t.spans[j].StartUnixNS
+			}
+			return t.spans[i].SpanID < t.spans[j].SpanID
+		})
+	}
+	return traces
+}
+
+// sortedTraces orders traces by start time (trace id breaking ties) for
+// deterministic listings.
+func sortedTraces(traces map[string]*trace) []*trace {
+	out := make([]*trace, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].start() != out[j].start() {
+			return out[i].start() < out[j].start()
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// countTraced counts events that belong to a trace.
+func countTraced(events []obs.SpanEvent) int {
+	n := 0
+	for _, ev := range events {
+		if ev.TraceID != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// formatDur renders nanoseconds at microsecond resolution — span
+// durations are µs-to-seconds scale, finer digits are noise.
+func formatDur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted (0 < p <=
+// 100). Zero on empty input.
+func percentile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(float64(len(sorted))*p/100+0.9999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// printSummary renders the per-span-name latency table over every event,
+// traced or not.
+func printSummary(w io.Writer, events []obs.SpanEvent) {
+	byName := make(map[string][]int64)
+	for _, ev := range events {
+		byName[ev.Name] = append(byName[ev.Name], ev.DurNS)
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%d span(s) in %d trace(s)\n", len(events), len(buildTraces(events)))
+	if len(names) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-28s %7s %12s %12s %12s %12s\n", "span", "count", "p50", "p99", "max", "total")
+	for _, name := range names {
+		durs := byName[name]
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		var total int64
+		for _, d := range durs {
+			total += d
+		}
+		fmt.Fprintf(w, "%-28s %7d %12s %12s %12s %12s\n", name, len(durs),
+			formatDur(percentile(durs, 50)), formatDur(percentile(durs, 99)),
+			formatDur(durs[len(durs)-1]), formatDur(total))
+	}
+}
+
+// printList renders one line per trace.
+func printList(w io.Writer, events []obs.SpanEvent) {
+	traces := sortedTraces(buildTraces(events))
+	for _, t := range traces {
+		rootName := "?"
+		if root, ok := t.root(); ok {
+			rootName = root.Name
+		}
+		fmt.Fprintf(w, "%s  spans=%-3d dur=%-12s root=%s\n",
+			t.id, len(t.spans), formatDur(t.end()-t.start()), rootName)
+	}
+	fmt.Fprintf(w, "%d trace(s)\n", len(traces))
+}
+
+const barWidth = 32
+
+// printWaterfall renders one trace as an indented tree with proportional
+// timing bars, followed by its critical path.
+func printWaterfall(w io.Writer, t *trace) {
+	start, total := t.start(), t.end()-t.start()
+	if total <= 0 {
+		total = 1
+	}
+	fmt.Fprintf(w, "trace %s: %d span(s), %s\n", t.id, len(t.spans), formatDur(t.end()-t.start()))
+
+	children := make(map[string][]obs.SpanEvent)
+	ids := make(map[string]bool, len(t.spans))
+	for _, sp := range t.spans {
+		ids[sp.SpanID] = true
+	}
+	var roots, orphans []obs.SpanEvent
+	for _, sp := range t.spans {
+		switch {
+		case sp.ParentID == "":
+			roots = append(roots, sp)
+		case ids[sp.ParentID]:
+			children[sp.ParentID] = append(children[sp.ParentID], sp)
+		default:
+			orphans = append(orphans, sp)
+		}
+	}
+	var render func(sp obs.SpanEvent, depth int)
+	render = func(sp obs.SpanEvent, depth int) {
+		off := int(int64(barWidth) * (sp.StartUnixNS - start) / total)
+		width := int(int64(barWidth) * sp.DurNS / total)
+		if width < 1 {
+			width = 1
+		}
+		if off+width > barWidth {
+			width = barWidth - off
+		}
+		bar := strings.Repeat(" ", off) + strings.Repeat("=", width) +
+			strings.Repeat(" ", barWidth-off-width)
+		label := strings.Repeat("  ", depth) + sp.Name
+		fmt.Fprintf(w, "  %-34s %10s |%s|%s\n", label, formatDur(sp.DurNS), bar, renderAttrs(sp.Attrs))
+		for _, c := range children[sp.SpanID] {
+			render(c, depth+1)
+		}
+	}
+	for _, sp := range roots {
+		render(sp, 0)
+	}
+	if len(orphans) > 0 {
+		fmt.Fprintf(w, "  %d orphan span(s):\n", len(orphans))
+		for _, sp := range orphans {
+			fmt.Fprintf(w, "    %s (%s) parent %s not in trace\n", sp.Name, formatDur(sp.DurNS), sp.ParentID)
+		}
+	}
+	if len(roots) == 1 {
+		path := criticalPath(roots[0], children)
+		names := make([]string, len(path))
+		for i, sp := range path {
+			names[i] = sp.Name
+		}
+		leaf := path[len(path)-1]
+		fmt.Fprintf(w, "critical path: %s (ends at %s, %s into the trace)\n",
+			strings.Join(names, " -> "), leaf.Name,
+			formatDur(leaf.StartUnixNS+leaf.DurNS-start))
+	}
+}
+
+// criticalPath descends from the root to the child whose end time is
+// latest at every level: the chain of spans that determined when the
+// request finished.
+func criticalPath(root obs.SpanEvent, children map[string][]obs.SpanEvent) []obs.SpanEvent {
+	path := []obs.SpanEvent{root}
+	cur := root
+	for {
+		kids := children[cur.SpanID]
+		if len(kids) == 0 {
+			return path
+		}
+		last := kids[0]
+		for _, k := range kids[1:] {
+			if k.StartUnixNS+k.DurNS > last.StartUnixNS+last.DurNS {
+				last = k
+			}
+		}
+		path = append(path, last)
+		cur = last
+	}
+}
+
+// renderAttrs formats span annotations as sorted " k=v" pairs.
+func renderAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", k, attrs[k])
+	}
+	return b.String()
+}
+
+// printP99 lists the slowest occurrences (at or above the p99 duration) of
+// one span name, with the trace ids to pull their waterfalls. It accepts
+// both the span spelling ("server.solve") and the histogram spelling
+// ("server.solve.seconds"), mirroring the exemplars of /metrics. Returns
+// false when no span matches.
+func printP99(w io.Writer, events []obs.SpanEvent, name string) bool {
+	name = strings.TrimSuffix(name, ".seconds")
+	var matched []obs.SpanEvent
+	for _, ev := range events {
+		if ev.Name == name {
+			matched = append(matched, ev)
+		}
+	}
+	if len(matched) == 0 {
+		return false
+	}
+	durs := make([]int64, len(matched))
+	for i, ev := range matched {
+		durs[i] = ev.DurNS
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	p99 := percentile(durs, 99)
+	sort.Slice(matched, func(i, j int) bool {
+		if matched[i].DurNS != matched[j].DurNS {
+			return matched[i].DurNS > matched[j].DurNS
+		}
+		return matched[i].SpanID < matched[j].SpanID
+	})
+	fmt.Fprintf(w, "%s: %d span(s), p99 = %s\n", name, len(matched), formatDur(p99))
+	const maxListed = 10
+	listed := 0
+	for _, ev := range matched {
+		if ev.DurNS < p99 || listed == maxListed {
+			break
+		}
+		ref := "(untraced)"
+		if ev.TraceID != "" {
+			ref = "trace " + ev.TraceID
+		}
+		fmt.Fprintf(w, "  %10s  %s\n", formatDur(ev.DurNS), ref)
+		listed++
+	}
+	return true
+}
+
+// checkTraces verifies the connectivity contract of every trace — exactly
+// one root span, every parent reference resolving within the trace — and,
+// when required names are given, that each trace contains all of them.
+// Returns human-readable violations, empty when the file is clean.
+func checkTraces(events []obs.SpanEvent, required []string) []string {
+	var violations []string
+	for _, t := range sortedTraces(buildTraces(events)) {
+		ids := make(map[string]bool, len(t.spans))
+		names := make(map[string]bool, len(t.spans))
+		roots := 0
+		for _, sp := range t.spans {
+			ids[sp.SpanID] = true
+			names[sp.Name] = true
+			if sp.ParentID == "" {
+				roots++
+			}
+		}
+		if roots != 1 {
+			violations = append(violations,
+				fmt.Sprintf("trace %s: %d root span(s), want exactly 1", t.id, roots))
+		}
+		for _, sp := range t.spans {
+			if sp.ParentID != "" && !ids[sp.ParentID] {
+				violations = append(violations,
+					fmt.Sprintf("trace %s: span %s (%s) references parent %s outside the trace",
+						t.id, sp.Name, sp.SpanID, sp.ParentID))
+			}
+		}
+		for _, name := range required {
+			if !names[strings.TrimSuffix(name, ".seconds")] {
+				violations = append(violations,
+					fmt.Sprintf("trace %s: missing required span %q", t.id, name))
+			}
+		}
+	}
+	return violations
+}

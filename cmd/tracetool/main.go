@@ -1,0 +1,121 @@
+// Command tracetool analyzes the JSONL span streams written by defenderd
+// and cmd/experiments via -trace-out (internal/obs.SpanEvent). It turns a
+// flat event file back into request traces: per-span-name latency
+// summaries, per-trace listings, waterfall renderings with the critical
+// path, p99 exemplar lookup, and a connectivity check suitable as a CI
+// gate (see TRACING.md and the trace-smoke job).
+//
+// Usage:
+//
+//	tracetool [-summary] TRACE.jsonl             per-name latency table (default)
+//	tracetool -list TRACE.jsonl                  one line per trace
+//	tracetool -trace ID TRACE.jsonl              waterfall + critical path for one trace
+//	tracetool -p99 NAME TRACE.jsonl              slowest traces for one span name
+//	tracetool -check [-require a,b] TRACE.jsonl  connectivity gate
+//
+// -p99 accepts both the span name ("server.solve") and its histogram
+// spelling ("server.solve.seconds"). -check verifies that every trace has
+// exactly one root span and no span references a parent outside its
+// trace; -require additionally demands that every trace contains each of
+// the named spans.
+//
+// Exit codes: 0 success, 1 check violations (-check) or trace/name not
+// found (-trace, -p99), 2 usage or input errors (malformed JSONL is
+// refused, not guessed at).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain runs one tracetool invocation and returns the process exit
+// code.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracetool", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		summary = fs.Bool("summary", false, "print a per-span-name latency summary (the default mode)")
+		list    = fs.Bool("list", false, "print one line per trace: id, root, span count, duration")
+		traceID = fs.String("trace", "", "render the waterfall and critical path of this trace id")
+		p99Name = fs.String("p99", "", "print the slowest traces (at or above p99) for this span name")
+		check   = fs.Bool("check", false, "verify every trace is connected: one root, no orphan parents")
+		require = fs.String("require", "", "with -check: comma-separated span names every trace must contain")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	modes := 0
+	for _, on := range []bool{*summary, *list, *traceID != "", *p99Name != "", *check} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(stderr, "tracetool: -summary, -list, -trace, -p99 and -check are mutually exclusive")
+		return 2
+	}
+	if *require != "" && !*check {
+		fmt.Fprintln(stderr, "tracetool: -require only makes sense with -check")
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "tracetool: want exactly one trace file (JSONL from -trace-out)")
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "tracetool:", err)
+		return 2
+	}
+	defer f.Close()
+	events, err := loadEvents(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "tracetool: %s: %v\n", fs.Arg(0), err)
+		return 2
+	}
+
+	switch {
+	case *list:
+		printList(stdout, events)
+	case *traceID != "":
+		tr, ok := buildTraces(events)[*traceID]
+		if !ok {
+			fmt.Fprintf(stderr, "tracetool: trace %s not found\n", *traceID)
+			return 1
+		}
+		printWaterfall(stdout, tr)
+	case *p99Name != "":
+		if !printP99(stdout, events, *p99Name) {
+			fmt.Fprintf(stderr, "tracetool: no spans named %q\n", *p99Name)
+			return 1
+		}
+	case *check:
+		var required []string
+		for _, name := range strings.Split(*require, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				required = append(required, name)
+			}
+		}
+		violations := checkTraces(events, required)
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(stderr, "tracetool:", v)
+			}
+			fmt.Fprintf(stderr, "tracetool: %d violation(s)\n", len(violations))
+			return 1
+		}
+		fmt.Fprintf(stdout, "ok: %d trace(s), %d span(s) connected\n",
+			len(buildTraces(events)), countTraced(events))
+	default:
+		printSummary(stdout, events)
+	}
+	return 0
+}

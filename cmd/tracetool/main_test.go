@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/defender-game/defender/internal/obs"
+)
+
+// writeTraceFile marshals events as the JSONL a -trace-out run produces.
+func writeTraceFile(t *testing.T, events []obs.SpanEvent) string {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, ev := range events {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runTool(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = realMain(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+const (
+	traceA = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+	traceB = "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+)
+
+// connectedEvents is a well-formed two-trace file: trace A is the full
+// request shape (solve -> queue_wait + solver work), trace B is a minimal
+// one-span trace, plus one free-standing span.
+func connectedEvents() []obs.SpanEvent {
+	return []obs.SpanEvent{
+		{Name: "server.solve", TraceID: traceA, SpanID: "a100000000000000", StartUnixNS: 1000, DurNS: 5000},
+		{Name: "broker.queue_wait", TraceID: traceA, SpanID: "a200000000000000", ParentID: "a100000000000000", StartUnixNS: 1100, DurNS: 400},
+		{Name: "core.solve_any", TraceID: traceA, SpanID: "a300000000000000", ParentID: "a100000000000000", StartUnixNS: 1600, DurNS: 4000},
+		{Name: "lp.simplex", TraceID: traceA, SpanID: "a400000000000000", ParentID: "a300000000000000", StartUnixNS: 1700, DurNS: 3500,
+			Attrs: map[string]string{"rows": "12"}},
+		{Name: "server.solve", TraceID: traceB, SpanID: "b100000000000000", StartUnixNS: 9000, DurNS: 2000},
+		{Name: "experiments.table", StartUnixNS: 500, DurNS: 100},
+	}
+}
+
+func TestSummaryDefaultMode(t *testing.T) {
+	path := writeTraceFile(t, connectedEvents())
+	code, out, _ := runTool(t, path)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if !strings.Contains(out, "6 span(s) in 2 trace(s)") {
+		t.Errorf("summary header missing:\n%s", out)
+	}
+	for _, name := range []string{"server.solve", "broker.queue_wait", "lp.simplex", "experiments.table"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("summary lacks row for %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestListTraces(t *testing.T) {
+	path := writeTraceFile(t, connectedEvents())
+	code, out, _ := runTool(t, "-list", path)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 2 trace lines + count, got %d:\n%s", len(lines), out)
+	}
+	// Trace A starts earlier, so it lists first.
+	if !strings.HasPrefix(lines[0], traceA) || !strings.Contains(lines[0], "spans=4") {
+		t.Errorf("trace A line wrong: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], traceB) || !strings.Contains(lines[1], "root=server.solve") {
+		t.Errorf("trace B line wrong: %q", lines[1])
+	}
+}
+
+func TestWaterfallAndCriticalPath(t *testing.T) {
+	path := writeTraceFile(t, connectedEvents())
+	code, out, _ := runTool(t, "-trace", traceA, path)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if !strings.Contains(out, "trace "+traceA+": 4 span(s)") {
+		t.Errorf("waterfall header missing:\n%s", out)
+	}
+	// Nesting: lp.simplex sits two levels under the root.
+	if !strings.Contains(out, "    lp.simplex") {
+		t.Errorf("lp.simplex not indented under core.solve_any:\n%s", out)
+	}
+	if !strings.Contains(out, "rows=12") {
+		t.Errorf("span attrs not rendered:\n%s", out)
+	}
+	// The latest-ending chain is solve -> solve_any -> simplex.
+	if !strings.Contains(out, "critical path: server.solve -> core.solve_any -> lp.simplex") {
+		t.Errorf("critical path wrong:\n%s", out)
+	}
+}
+
+func TestTraceNotFound(t *testing.T) {
+	path := writeTraceFile(t, connectedEvents())
+	code, _, errOut := runTool(t, "-trace", "deadbeef", path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "not found") {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+func TestP99BothSpellings(t *testing.T) {
+	path := writeTraceFile(t, connectedEvents())
+	for _, name := range []string{"server.solve", "server.solve.seconds"} {
+		code, out, _ := runTool(t, "-p99", name, path)
+		if code != 0 {
+			t.Fatalf("-p99 %s: exit = %d, want 0", name, code)
+		}
+		if !strings.Contains(out, "server.solve: 2 span(s)") {
+			t.Errorf("-p99 %s header wrong:\n%s", name, out)
+		}
+		// The slowest server.solve is trace A's 5µs root.
+		if !strings.Contains(out, "trace "+traceA) {
+			t.Errorf("-p99 %s does not name the slowest trace:\n%s", name, out)
+		}
+	}
+}
+
+func TestP99UnknownName(t *testing.T) {
+	path := writeTraceFile(t, connectedEvents())
+	code, _, errOut := runTool(t, "-p99", "no.such.span", path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "no spans named") {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+func TestCheckConnectedPasses(t *testing.T) {
+	path := writeTraceFile(t, connectedEvents())
+	code, out, _ := runTool(t, "-check", "-require", "server.solve", path)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if !strings.Contains(out, "ok: 2 trace(s), 5 span(s) connected") {
+		t.Errorf("check output wrong:\n%s", out)
+	}
+}
+
+func TestCheckOrphanParentFails(t *testing.T) {
+	events := connectedEvents()
+	events = append(events, obs.SpanEvent{
+		Name: "cover.gallai", TraceID: traceA, SpanID: "a500000000000000",
+		ParentID: "ffffffffffffffff", StartUnixNS: 2000, DurNS: 10,
+	})
+	path := writeTraceFile(t, events)
+	code, _, errOut := runTool(t, "-check", path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "references parent ffffffffffffffff outside the trace") {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+func TestCheckMultipleRootsFails(t *testing.T) {
+	events := connectedEvents()
+	events = append(events, obs.SpanEvent{
+		Name: "server.solve", TraceID: traceB, SpanID: "b200000000000000", StartUnixNS: 9500, DurNS: 100,
+	})
+	path := writeTraceFile(t, events)
+	code, _, errOut := runTool(t, "-check", path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "2 root span(s), want exactly 1") {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+func TestCheckRequiredSpanMissing(t *testing.T) {
+	path := writeTraceFile(t, connectedEvents())
+	// Trace B has no broker.queue_wait span.
+	code, _, errOut := runTool(t, "-check", "-require", "server.solve,broker.queue_wait", path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, `trace `+traceB+`: missing required span "broker.queue_wait"`) {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+func TestMalformedLineRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte("{\"name\":\"x\",\"dur_ns\":1}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runTool(t, path)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "line 2") {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	path := writeTraceFile(t, connectedEvents())
+	cases := [][]string{
+		{},                        // no input file
+		{"-list", "-check", path}, // two modes
+		{"-require", "a", path},   // -require without -check
+		{"/no/such/file.jsonl"},   // unreadable input
+		{"-unknown-flag", path},   // flag parse error
+	}
+	for _, args := range cases {
+		if code, _, _ := runTool(t, args...); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	durs := make([]int64, 100)
+	for i := range durs {
+		durs[i] = int64(i + 1)
+	}
+	if got := percentile(durs, 50); got != 50 {
+		t.Errorf("p50 = %d, want 50", got)
+	}
+	if got := percentile(durs, 99); got != 99 {
+		t.Errorf("p99 = %d, want 99", got)
+	}
+	if got := percentile(durs[:1], 99); got != 1 {
+		t.Errorf("p99 of singleton = %d, want 1", got)
+	}
+	if got := percentile(nil, 99); got != 0 {
+		t.Errorf("p99 of empty = %d, want 0", got)
+	}
+}

@@ -13,7 +13,12 @@
 //     hook sees every package), and
 //  4. appear in the OBSERVABILITY.md catalogue, where entries may carry
 //     placeholder segments in angle brackets and brace alternations
-//     ("experiments.cache.<kind>.{hits,misses}").
+//     ("experiments.cache.<kind>.{hits,misses}"). Only catalogue rows —
+//     lines starting with "|" (tables) or "-" (bullet lists) — count;
+//     backticked names in running prose (conventions, cross-references)
+//     never vouch for a registration, so a prose example like
+//     "`<package>.<what>`" cannot silently whitelist every two-segment
+//     name.
 //
 // Ad-hoc registries built with obs.NewRegistry (tests, fixtures) and the
 // internal/obs implementation itself are out of scope; so are _test.go
@@ -59,10 +64,11 @@ type state struct {
 	names map[string][]site
 }
 
-// registryMethods are the Registry methods whose first argument is a metric
-// or span name.
-var registryMethods = map[string]bool{
-	"Counter": true, "Gauge": true, "Histogram": true, "StartSpan": true,
+// registryMethods maps each Registry method that takes a metric or span
+// name to the index of its name argument (StartSpanCtx takes the context
+// first).
+var registryMethods = map[string]int{
+	"Counter": 0, "Gauge": 0, "Histogram": 0, "StartSpan": 0, "StartSpanCtx": 1,
 }
 
 var nameRx = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
@@ -79,14 +85,14 @@ func run(pass *analysis.Pass) error {
 		handles := defaultHandles(pass, file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
-			if !ok || len(call.Args) < 1 {
-				return true
-			}
-			kind, ok := registryCall(pass, call, handles)
 			if !ok {
 				return true
 			}
-			arg := call.Args[0]
+			kind, ok := registryCall(pass, call, handles)
+			if !ok || len(call.Args) <= registryMethods[kind] {
+				return true
+			}
+			arg := call.Args[registryMethods[kind]]
 			tv := pass.TypesInfo.Types[arg]
 			if tv.Value == nil || tv.Value.Kind() != constant.String {
 				pass.Reportf(arg.Pos(), "%s name is not a compile-time constant; the catalogue cannot vouch for dynamic names (suppressible as lint:invariant(metricname))", kind)
@@ -143,7 +149,10 @@ func finish(mp *analysis.ModulePass) error {
 // default registry, and which method.
 func registryCall(pass *analysis.Pass, call *ast.CallExpr, handles map[types.Object]bool) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || !registryMethods[sel.Sel.Name] {
+	if !ok {
+		return "", false
+	}
+	if _, named := registryMethods[sel.Sel.Name]; !named {
 		return "", false
 	}
 	s, ok := pass.TypesInfo.Selections[sel]
@@ -261,23 +270,33 @@ func (c *catalogue) contains(name string) bool {
 var catalogueEntryRx = regexp.MustCompile("`([a-z0-9_<>{},.]*\\.[a-z0-9_<>{},.]*)`")
 
 // loadCatalogue extracts every metric-name-shaped backtick span from the
-// catalogue document.
+// catalogue document's rows. Only table rows ("| …") and bullet items
+// ("- …") are catalogue entries; backticked names in running prose are
+// commentary and must not vouch for a registration — a conventions
+// example like `<package>.<what>` would otherwise compile into a
+// catch-all pattern accepting every two-segment name.
 func loadCatalogue(path string) (*catalogue, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("metricname: reading catalogue: %w", err)
 	}
 	c := &catalogue{exact: make(map[string]bool)}
-	for _, m := range catalogueEntryRx.FindAllStringSubmatch(string(data), -1) {
-		entry := m[1]
-		if strings.ContainsAny(entry, "<>{}") {
-			if rx := entryPattern(entry); rx != nil {
-				c.patterns = append(c.patterns, rx)
-			}
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "|") && !strings.HasPrefix(trimmed, "- ") {
 			continue
 		}
-		if nameRx.MatchString(entry) {
-			c.exact[entry] = true
+		for _, m := range catalogueEntryRx.FindAllStringSubmatch(line, -1) {
+			entry := m[1]
+			if strings.ContainsAny(entry, "<>{}") {
+				if rx := entryPattern(entry); rx != nil {
+					c.patterns = append(c.patterns, rx)
+				}
+				continue
+			}
+			if nameRx.MatchString(entry) {
+				c.exact[entry] = true
+			}
 		}
 	}
 	return c, nil

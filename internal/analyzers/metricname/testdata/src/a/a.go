@@ -12,13 +12,17 @@ func good() {
 	reg.Counter("fixture.cache.lp.hits")
 	reg.Counter("fixture.cache.lp.misses")
 	obs.Default().StartSpan(spanName)
+	obs.Default().StartSpanCtx(nil, "fixture.traced.solve")
 }
 
 func bad(kind string) {
-	obs.Default().Counter("fixture." + kind)        // want `Counter name is not a compile-time constant`
-	obs.Default().Gauge("Fixture.BadCase")          // want `not dotted snake_case`
-	obs.Default().Counter("fixture.requests.total") // want `already registered at`
-	obs.Default().Counter("fixture.unknown.metric") // want `not in the OBSERVABILITY.md catalogue`
+	obs.Default().Counter("fixture." + kind)                // want `Counter name is not a compile-time constant`
+	obs.Default().Gauge("Fixture.BadCase")                  // want `not dotted snake_case`
+	obs.Default().Counter("fixture.requests.total")         // want `already registered at`
+	obs.Default().Counter("fixture.unknown.metric")         // want `not in the OBSERVABILITY.md catalogue`
+	obs.Default().Counter("fixture.rogue")                  // want `not in the OBSERVABILITY.md catalogue`
+	obs.Default().StartSpanCtx(nil, "fixture."+kind)        // want `StartSpanCtx name is not a compile-time constant`
+	obs.Default().StartSpanCtx(nil, "fixture.traced.solve") // want `already registered at`
 }
 
 func adHoc() {

@@ -28,6 +28,14 @@ func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }
 // StartSpan opens a named span.
 func (r *Registry) StartSpan(name string) *Span { return &Span{} }
 
+// StartSpanCtx opens a named span under ctx's trace; the name is the
+// second argument.
+func (r *Registry) StartSpanCtx(ctx Context, name string) (*Span, Context) { return &Span{}, ctx }
+
+// Context stands in for context.Context so the fixture stays
+// self-contained.
+type Context interface{}
+
 // Counter is a stand-in metric handle.
 type Counter struct{}
 

@@ -101,6 +101,11 @@ type Table struct {
 	CellP95MS float64 `json:"cell_p95_ms"`
 	CellP99MS float64 `json:"cell_p99_ms"`
 	CellMaxMS float64 `json:"cell_max_ms"`
+	// SlowestTraceID is the trace id (X-Defender-Trace-Id) of the request
+	// behind CellMaxMS, recorded by suites that drive a traced service
+	// (cmd/loadgen): the record's worst latency links straight to its
+	// tracetool waterfall. Empty for suites without request traces.
+	SlowestTraceID string `json:"slowest_trace_id,omitempty"`
 }
 
 // StampEnvironment fills the report's provenance fields: SchemaVersion,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -42,7 +43,14 @@ func AlgorithmATuple(g *graph.Graph, attackers, k int, p cover.Partition) (Tuple
 // bipartite graphs this is the paper's Theorem 5.1 pipeline with total cost
 // max{O(k·n), O(m√n)}.
 func SolveTupleModel(g *graph.Graph, attackers, k int) (TupleEquilibrium, error) {
-	sp := obs.Default().StartSpan("core.solve_tuple")
+	return SolveTupleModelCtx(context.Background(), g, attackers, k)
+}
+
+// SolveTupleModelCtx is SolveTupleModel under ctx's trace: the partition
+// search plus construction is timed as the span "core.solve_tuple",
+// nested under the caller's span when ctx carries one.
+func SolveTupleModelCtx(ctx context.Context, g *graph.Graph, attackers, k int) (TupleEquilibrium, error) {
+	sp, _ := obs.Default().StartSpanCtx(ctx, "core.solve_tuple")
 	sp.Annotate("k", strconv.Itoa(k))
 	defer sp.End()
 	p, err := cover.FindNEPartition(g)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -34,14 +35,22 @@ import (
 // "regular", "lp-minimax". Every returned profile passes the exact
 // verifier (asserted by the tests).
 func SolveAny(g *graph.Graph, attackers, k int) (ne TupleEquilibrium, family string, err error) {
-	sp := obs.Default().StartSpan("core.solve_any")
+	return SolveAnyCtx(context.Background(), g, attackers, k)
+}
+
+// SolveAnyCtx is SolveAny under ctx's trace: the family cascade is timed
+// as the span "core.solve_any", and ctx is threaded into the structural
+// constructions and the LP fallback so their spans nest beneath it in
+// the request's waterfall.
+func SolveAnyCtx(ctx context.Context, g *graph.Graph, attackers, k int) (ne TupleEquilibrium, family string, err error) {
+	sp, ctx := obs.Default().StartSpanCtx(ctx, "core.solve_any")
 	defer func() {
 		// The chosen family is the interesting dimension when reading a
 		// trace: it explains why one solve took µs and the next took ms.
 		sp.Annotate("family", family)
 		sp.End()
 	}()
-	if ne, err := SolveTupleModel(g, attackers, k); err == nil {
+	if ne, err := SolveTupleModelCtx(ctx, g, attackers, k); err == nil {
 		return ne, "k-matching", nil
 	} else if !errors.Is(err, ErrNoMatchingNE) && !errors.Is(err, ErrKTooLarge) &&
 		!errors.Is(err, cover.ErrPartitionNotFound) && !errors.Is(err, cover.ErrTooLarge) {
@@ -67,7 +76,7 @@ func SolveAny(g *graph.Graph, attackers, k int) (ne TupleEquilibrium, family str
 			}, "regular", nil
 		}
 	}
-	ne, err = lpMinimaxNE(g, attackers, k)
+	ne, err = lpMinimaxNE(ctx, g, attackers, k)
 	if err != nil {
 		return TupleEquilibrium{}, "", err
 	}
@@ -75,7 +84,7 @@ func SolveAny(g *graph.Graph, attackers, k int) (ne TupleEquilibrium, family str
 }
 
 // lpMinimaxNE builds the symmetric lift of the ν = 1 minimax pair.
-func lpMinimaxNE(g *graph.Graph, attackers, k int) (TupleEquilibrium, error) {
+func lpMinimaxNE(ctx context.Context, g *graph.Graph, attackers, k int) (TupleEquilibrium, error) {
 	gm, err := game.New(g, attackers, k)
 	if err != nil {
 		return TupleEquilibrium{}, err
@@ -102,7 +111,7 @@ func lpMinimaxNE(g *graph.Graph, attackers, k int) (TupleEquilibrium, error) {
 		}
 		payoff[i] = row
 	}
-	gs, err := lp.SolveZeroSum(payoff)
+	gs, err := lp.SolveZeroSumCtx(ctx, payoff)
 	if err != nil {
 		return TupleEquilibrium{}, fmt.Errorf("core: lp minimax NE: %w", err)
 	}

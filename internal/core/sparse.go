@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -107,6 +108,17 @@ func AlgorithmACSR(c *graph.CSR, p cover.PartitionCSR) (us, vs []int32, err erro
 // Returns ErrKTooLarge when k exceeds the support size |IS|. Allocates
 // the equilibrium slices.
 func AlgorithmATupleCSR(c *graph.CSR, attackers, k int, p cover.PartitionCSR) (*SparseEquilibrium, error) {
+	return AlgorithmATupleCSRCtx(context.Background(), c, attackers, k, p)
+}
+
+// AlgorithmATupleCSRCtx is AlgorithmATupleCSR under ctx's trace: the
+// construction is timed as the span "core.atuple_csr" (histogram
+// core.atuple_csr.seconds), so sparse-path solves show the O(k·n)
+// construction leg separately from the partition search around it.
+func AlgorithmATupleCSRCtx(ctx context.Context, c *graph.CSR, attackers, k int, p cover.PartitionCSR) (*SparseEquilibrium, error) {
+	sp, _ := obs.Default().StartSpanCtx(ctx, "core.atuple_csr")
+	sp.Annotate("k", strconv.Itoa(k))
+	defer sp.End()
 	if attackers < 1 {
 		return nil, fmt.Errorf("core: algorithm A_tuple csr: attackers=%d, want >= 1", attackers)
 	}
@@ -150,7 +162,14 @@ func AlgorithmATupleCSR(c *graph.CSR, attackers, k int, p cover.PartitionCSR) (*
 // single-digit-seconds route for 10^6-vertex instances. Allocates the
 // equilibrium and the partition scratch.
 func SolveKMatchingCSR(c *graph.CSR, attackers, k int) (*SparseEquilibrium, error) {
-	sp := obs.Default().StartSpan("core.solve_sparse")
+	return SolveKMatchingCSRCtx(context.Background(), c, attackers, k)
+}
+
+// SolveKMatchingCSRCtx is SolveKMatchingCSR under ctx's trace: the whole
+// sparse pipeline is timed as the span "core.solve_sparse" with the
+// construction nested beneath it as "core.atuple_csr".
+func SolveKMatchingCSRCtx(ctx context.Context, c *graph.CSR, attackers, k int) (*SparseEquilibrium, error) {
+	sp, ctx := obs.Default().StartSpanCtx(ctx, "core.solve_sparse")
 	sp.Annotate("k", strconv.Itoa(k))
 	sp.Annotate("n", strconv.Itoa(c.NumVertices()))
 	defer sp.End()
@@ -161,7 +180,7 @@ func SolveKMatchingCSR(c *graph.CSR, attackers, k int) (*SparseEquilibrium, erro
 		}
 		return nil, err
 	}
-	return AlgorithmATupleCSR(c, attackers, k, p)
+	return AlgorithmATupleCSRCtx(ctx, c, attackers, k, p)
 }
 
 // VerifyKMatchingCSR checks — exactly, with loads computed in the
@@ -393,7 +412,13 @@ func (ne *SparseEquilibrium) ToTupleEquilibrium() (TupleEquilibrium, error) {
 // benchmark row carries a Theorem 3.4 proof, not just a construction.
 // Cost is one solve plus one O(n + m + k·δ) verification.
 func SolveKMatchingCSRVerified(c *graph.CSR, attackers, k int) (*SparseEquilibrium, error) {
-	ne, err := SolveKMatchingCSR(c, attackers, k)
+	return SolveKMatchingCSRVerifiedCtx(context.Background(), c, attackers, k)
+}
+
+// SolveKMatchingCSRVerifiedCtx is SolveKMatchingCSRVerified with ctx
+// threaded into the solve for trace correlation.
+func SolveKMatchingCSRVerifiedCtx(ctx context.Context, c *graph.CSR, attackers, k int) (*SparseEquilibrium, error) {
+	ne, err := SolveKMatchingCSRCtx(ctx, c, attackers, k)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -35,7 +36,14 @@ const valueTupleLimit = 20_000
 // structured equilibrium constructions. Along with the value it returns
 // the defender's optimal mixed strategy over tuples.
 func GameValue(g *graph.Graph, k int) (*big.Rat, []game.Tuple, []*big.Rat, error) {
-	sp := obs.Default().StartSpan("core.game_value")
+	return GameValueCtx(context.Background(), g, k)
+}
+
+// GameValueCtx is GameValue under ctx's trace: the oracle run is timed
+// as the span "core.game_value" with the LP solve nested beneath it as
+// "lp.simplex".
+func GameValueCtx(ctx context.Context, g *graph.Graph, k int) (*big.Rat, []game.Tuple, []*big.Rat, error) {
+	sp, ctx := obs.Default().StartSpanCtx(ctx, "core.game_value")
 	sp.Annotate("k", strconv.Itoa(k))
 	defer sp.End()
 	if g.NumVertices() == 0 {
@@ -72,7 +80,7 @@ func GameValue(g *graph.Graph, k int) (*big.Rat, []game.Tuple, []*big.Rat, error
 		}
 		payoff[i] = row
 	}
-	gs, err := lp.SolveZeroSum(payoff)
+	gs, err := lp.SolveZeroSumCtx(ctx, payoff)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("core: game value: %w", err)
 	}

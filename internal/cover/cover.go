@@ -6,6 +6,7 @@
 package cover
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -65,10 +66,21 @@ func IsEdgeCover(g *graph.Graph, edges []graph.Edge) bool {
 // O(n^3) (blossom-dominated); allocates the cover and the matching state.
 // Sparse path: cover.MinimumEdgeCoverCSRFromMatching.
 func MinimumEdgeCover(g *graph.Graph) ([]graph.Edge, error) {
+	return MinimumEdgeCoverCtx(context.Background(), g)
+}
+
+// MinimumEdgeCoverCtx is MinimumEdgeCover under ctx's trace: the
+// Gallai-identity construction (blossom matching + Norman–Rabin
+// extension) is timed as the span "cover.gallai" (histogram
+// cover.gallai.seconds), with the blossom leg visible inside it as
+// "matching.maximum".
+func MinimumEdgeCoverCtx(ctx context.Context, g *graph.Graph) ([]graph.Edge, error) {
+	sp, ctx := obs.Default().StartSpanCtx(ctx, "cover.gallai")
+	defer sp.End()
 	if g.HasIsolatedVertex() {
 		return nil, ErrIsolatedVertex
 	}
-	return MinimumEdgeCoverFromMatching(g, matching.Maximum(g))
+	return MinimumEdgeCoverFromMatching(g, matching.MaximumCtx(ctx, g))
 }
 
 // MinimumEdgeCoverFromMatching extends an already-computed maximum matching
@@ -101,7 +113,13 @@ func MinimumEdgeCoverFromMatching(g *graph.Graph, mate []int) ([]graph.Edge, err
 // error if none exists. Cost of MinimumEdgeCover: O(n^3), allocates the
 // cover it then discards.
 func EdgeCoverNumber(g *graph.Graph) (int, error) {
-	ec, err := MinimumEdgeCover(g)
+	return EdgeCoverNumberCtx(context.Background(), g)
+}
+
+// EdgeCoverNumberCtx is EdgeCoverNumber with ctx threaded through to
+// MinimumEdgeCoverCtx for trace correlation.
+func EdgeCoverNumberCtx(ctx context.Context, g *graph.Graph) (int, error) {
+	ec, err := MinimumEdgeCoverCtx(ctx, g)
 	if err != nil {
 		return 0, err
 	}

@@ -1,8 +1,12 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math/big"
+	"strconv"
+
+	"github.com/defender-game/defender/internal/obs"
 )
 
 // GameSolution is an exact minimax solution of a two-player zero-sum
@@ -31,6 +35,23 @@ type GameSolution struct {
 //
 // hold as rational identities (asserted by this package's tests).
 func SolveZeroSum(m [][]*big.Rat) (GameSolution, error) {
+	return SolveZeroSumCtx(context.Background(), m)
+}
+
+// SolveZeroSumCtx is SolveZeroSum under ctx's trace: the whole solve —
+// reduction, simplex, strategy extraction, including the transposed
+// recursion — is timed as one "lp.simplex" span (histogram
+// lp.simplex.seconds), so a request waterfall shows how much of a solve
+// was exact pivoting. The LP itself is not interruptible; ctx only
+// correlates.
+func SolveZeroSumCtx(ctx context.Context, m [][]*big.Rat) (GameSolution, error) {
+	sp, _ := obs.Default().StartSpanCtx(ctx, "lp.simplex")
+	sp.Annotate("rows", strconv.Itoa(len(m)))
+	defer sp.End()
+	return solveZeroSum(m)
+}
+
+func solveZeroSum(m [][]*big.Rat) (GameSolution, error) {
 	rows := len(m)
 	if rows == 0 {
 		return GameSolution{}, fmt.Errorf("%w: empty payoff matrix", ErrBadProgram)
@@ -63,7 +84,7 @@ func SolveZeroSum(m [][]*big.Rat) (GameSolution, error) {
 				nt[j][i] = new(big.Rat).Neg(m[i][j]) // lint:invariant(ratraw): transposed matrix entries each need their own big.Rat
 			}
 		}
-		gs, err := SolveZeroSum(nt)
+		gs, err := solveZeroSum(nt)
 		if err != nil {
 			return GameSolution{}, err
 		}

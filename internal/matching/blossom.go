@@ -1,6 +1,8 @@
 package matching
 
 import (
+	"context"
+
 	"github.com/defender-game/defender/internal/graph"
 	"github.com/defender-game/defender/internal/obs"
 )
@@ -26,6 +28,17 @@ var (
 // and the mate array it returns; for million-vertex bipartite instances
 // use HopcroftKarpCSR instead (see SCALING.md).
 func Maximum(g *graph.Graph) []int {
+	return MaximumCtx(context.Background(), g)
+}
+
+// MaximumCtx is Maximum under ctx's trace: the blossom run is timed as
+// the span "matching.maximum" (histogram matching.maximum.seconds), so
+// solve waterfalls expose the O(n^3) general-matching leg separately
+// from the rest of the cover pipeline. The algorithm itself is not
+// interruptible; ctx only correlates.
+func MaximumCtx(ctx context.Context, g *graph.Graph) []int {
+	sp, _ := obs.Default().StartSpanCtx(ctx, "matching.maximum")
+	defer sp.End()
 	b := newBlossomState(g)
 	// Greedy initialization cuts the number of augmentation phases roughly
 	// in half on random graphs without affecting correctness.

@@ -1,6 +1,7 @@
 package matching
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/defender-game/defender/internal/graph"
@@ -21,6 +22,16 @@ var obsHKPhases = obs.Default().Counter("matching.hopcroftkarp.phases")
 // an error otherwise, so callers cannot silently run it on an odd cycle.
 // Allocates the mate array plus per-phase BFS/DFS scratch.
 func HopcroftKarp(g *graph.Graph, side []int) ([]int, error) {
+	return HopcroftKarpCtx(context.Background(), g, side)
+}
+
+// HopcroftKarpCtx is HopcroftKarp under ctx's trace: the run is timed as
+// the span "matching.hopcroftkarp" (histogram
+// matching.hopcroftkarp.seconds). The algorithm itself is not
+// interruptible; ctx only correlates.
+func HopcroftKarpCtx(ctx context.Context, g *graph.Graph, side []int) ([]int, error) {
+	sp, _ := obs.Default().StartSpanCtx(ctx, "matching.hopcroftkarp")
+	defer sp.End()
 	n := g.NumVertices()
 	if len(side) != n {
 		return nil, fmt.Errorf("matching: side array length %d, want %d", len(side), n)
@@ -108,11 +119,17 @@ func HopcroftKarp(g *graph.Graph, side []int) ([]int, error) {
 // bipartition itself. It returns graph.ErrNotBipartite if g has an odd cycle.
 // O(m sqrt n); allocates the side array plus HopcroftKarp's scratch.
 func MaximumBipartite(g *graph.Graph) ([]int, error) {
+	return MaximumBipartiteCtx(context.Background(), g)
+}
+
+// MaximumBipartiteCtx is MaximumBipartite with ctx threaded through to
+// HopcroftKarpCtx for trace correlation.
+func MaximumBipartiteCtx(ctx context.Context, g *graph.Graph) ([]int, error) {
 	side, err := g.Bipartition()
 	if err != nil {
 		return nil, err
 	}
-	return HopcroftKarp(g, side)
+	return HopcroftKarpCtx(ctx, g, side)
 }
 
 // KonigVertexCover converts a maximum matching of a bipartite graph into a

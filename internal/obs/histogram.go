@@ -3,6 +3,7 @@ package obs
 import (
 	"math"
 	"sync/atomic"
+	"time"
 )
 
 // Histogram bucket geometry. Buckets are geometric: bucket i covers
@@ -27,12 +28,28 @@ var logGrowth = math.Log(histGrowth)
 // write methods are no-ops on a nil receiver or while the owning registry
 // is disabled.
 type Histogram struct {
-	reg     *Registry
-	count   atomic.Uint64
-	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
-	minBits atomic.Uint64 // float64 bits; +Inf when empty
-	maxBits atomic.Uint64 // float64 bits; -Inf when empty
-	buckets [histBuckets]atomic.Uint64
+	reg       *Registry
+	count     atomic.Uint64
+	sumBits   atomic.Uint64 // float64 bits, CAS-accumulated
+	minBits   atomic.Uint64 // float64 bits; +Inf when empty
+	maxBits   atomic.Uint64 // float64 bits; -Inf when empty
+	buckets   [histBuckets]atomic.Uint64
+	exemplars [histBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram bucket back to a concrete traced request:
+// the most recent sampled observation that landed in the bucket, with the
+// trace ID to look it up in the trace JSONL (cmd/tracetool) and the
+// observation it stands for. Exposed in both the JSON snapshot and the
+// OpenMetrics-style `# {trace_id=...}` suffix of the Prometheus
+// exposition.
+type Exemplar struct {
+	// TraceID is the trace the observation belongs to.
+	TraceID string `json:"trace_id"`
+	// Value is the observed value, in the metric's unit.
+	Value float64 `json:"value"`
+	// UnixNano is when the observation was recorded.
+	UnixNano int64 `json:"unix_nano"`
 }
 
 func newHistogram(r *Registry) *Histogram {
@@ -50,6 +67,7 @@ func (h *Histogram) reset() {
 	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
 	for i := range h.buckets {
 		h.buckets[i].Store(0)
+		h.exemplars[i].Store(nil)
 	}
 }
 
@@ -77,6 +95,18 @@ func bucketUpper(i int) float64 {
 // Observe records one value. Negative values clamp to zero; NaN is
 // dropped.
 func (h *Histogram) Observe(v float64) {
+	h.observe(v, "")
+}
+
+// ObserveWithExemplar records one value and retains traceID as the
+// exemplar of the bucket the value lands in (last writer wins), so the
+// bucket's tail can be traced back to a concrete request. An empty
+// traceID degrades to a plain Observe.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	h.observe(v, traceID)
+}
+
+func (h *Histogram) observe(v float64, traceID string) {
 	if h == nil || !h.reg.on() || math.IsNaN(v) {
 		return
 	}
@@ -84,7 +114,11 @@ func (h *Histogram) Observe(v float64) {
 		v = 0
 	}
 	h.count.Add(1)
-	h.buckets[bucketIndex(v)].Add(1)
+	idx := bucketIndex(v)
+	h.buckets[idx].Add(1)
+	if traceID != "" {
+		h.exemplars[idx].Store(&Exemplar{TraceID: traceID, Value: v, UnixNano: time.Now().UnixNano()})
+	}
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -172,9 +206,26 @@ func (h *Histogram) bucketCounts() [histBuckets]uint64 {
 	return counts
 }
 
+// BucketSnapshot is one occupied histogram bucket in a snapshot: its
+// inclusive upper bound (the geometric boundary, so consumers can
+// reconstruct the distribution without reading the Go source), its raw
+// (non-cumulative) count, and — when a traced observation landed in it —
+// the most recent exemplar.
+type BucketSnapshot struct {
+	// LE is the bucket's inclusive upper bound, in the metric's unit.
+	LE float64 `json:"le"`
+	// Count is the number of observations in this bucket (not
+	// cumulative).
+	Count uint64 `json:"count"`
+	// Exemplar is the most recent sampled traced observation in the
+	// bucket, if any.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
+}
+
 // HistogramSnapshot is the JSON form of a histogram: count, sum, exact
-// min/max, and the estimated 50th/95th/99th percentiles, in the metric's
-// observation unit.
+// min/max, the estimated 50th/95th/99th percentiles in the metric's
+// observation unit, and the occupied buckets with their boundaries and
+// exemplars.
 type HistogramSnapshot struct {
 	// Count is the number of observations recorded.
 	Count uint64 `json:"count"`
@@ -188,6 +239,10 @@ type HistogramSnapshot struct {
 	P50 float64 `json:"p50"`
 	P95 float64 `json:"p95"`
 	P99 float64 `json:"p99"`
+	// Buckets lists every occupied bucket in ascending boundary order.
+	// Counts are per-bucket, not cumulative; summed they equal Count (up
+	// to a best-effort cut under concurrent writers).
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
 }
 
 // Snapshot copies the histogram's current state. An empty histogram
@@ -196,13 +251,26 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil || h.count.Load() == 0 {
 		return HistogramSnapshot{}
 	}
+	counts := h.bucketCounts()
+	var buckets []BucketSnapshot
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		buckets = append(buckets, BucketSnapshot{
+			LE:       bucketUpper(i),
+			Count:    c,
+			Exemplar: h.exemplars[i].Load(),
+		})
+	}
 	return HistogramSnapshot{
-		Count: h.count.Load(),
-		Sum:   h.Sum(),
-		Min:   math.Float64frombits(h.minBits.Load()),
-		Max:   math.Float64frombits(h.maxBits.Load()),
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
+		Count:   h.count.Load(),
+		Sum:     h.Sum(),
+		Min:     math.Float64frombits(h.minBits.Load()),
+		Max:     math.Float64frombits(h.maxBits.Load()),
+		P50:     h.Quantile(0.50),
+		P95:     h.Quantile(0.95),
+		P99:     h.Quantile(0.99),
+		Buckets: buckets,
 	}
 }

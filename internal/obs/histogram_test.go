@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -89,8 +90,77 @@ func TestHistogramEmptySnapshot(t *testing.T) {
 	r := enabledRegistry()
 	h := r.Histogram("h")
 	s := h.Snapshot()
-	if s != (HistogramSnapshot{}) {
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 ||
+		s.P50 != 0 || s.P95 != 0 || s.P99 != 0 || s.Buckets != nil {
 		t.Fatalf("empty histogram snapshot = %+v, want zero value", s)
+	}
+}
+
+// Snapshot buckets carry their upper boundary (the JSON /metrics fix:
+// counts alone were uninterpretable without the geometric grid), are
+// sorted ascending, hold per-bucket counts, and sum to Count.
+func TestHistogramSnapshotBuckets(t *testing.T) {
+	r := enabledRegistry()
+	h := r.Histogram("h")
+	obs := []float64{0.001, 0.001, 0.010, 2.5}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if len(s.Buckets) == 0 {
+		t.Fatal("snapshot has no buckets")
+	}
+	var total uint64
+	prevLE := 0.0
+	for _, b := range s.Buckets {
+		if b.LE <= prevLE {
+			t.Errorf("bucket boundaries not strictly ascending: %v after %v", b.LE, prevLE)
+		}
+		if b.Count == 0 {
+			t.Errorf("empty bucket le=%v must be omitted", b.LE)
+		}
+		total += b.Count
+		prevLE = b.LE
+	}
+	if total != uint64(len(obs)) {
+		t.Errorf("bucket counts sum to %d, want %d", total, len(obs))
+	}
+	// Each observation must fall at or below its bucket's boundary.
+	for _, v := range obs {
+		le := bucketUpper(bucketIndex(v))
+		if v > le {
+			t.Errorf("observation %v above its bucket bound %v", v, le)
+		}
+	}
+}
+
+func TestHistogramExemplarLatestWins(t *testing.T) {
+	r := enabledRegistry()
+	h := r.Histogram("h")
+	// Two sampled observations in the same bucket: the newest trace wins.
+	h.ObserveWithExemplar(0.100, strings.Repeat("a", 32))
+	h.ObserveWithExemplar(0.101, strings.Repeat("b", 32))
+	// A plain observation elsewhere leaves no exemplar.
+	h.Observe(3)
+	s := h.Snapshot()
+	var seen int
+	for _, b := range s.Buckets {
+		if b.Exemplar == nil {
+			continue
+		}
+		seen++
+		if b.Exemplar.TraceID != strings.Repeat("b", 32) {
+			t.Errorf("exemplar trace = %q, want the most recent", b.Exemplar.TraceID)
+		}
+		if math.Abs(b.Exemplar.Value-0.101) > 1e-12 {
+			t.Errorf("exemplar value = %v, want 0.101", b.Exemplar.Value)
+		}
+		if b.Exemplar.UnixNano == 0 {
+			t.Error("exemplar timestamp missing")
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("got %d exemplars, want 1", seen)
 	}
 }
 

@@ -80,12 +80,24 @@ func PublishExpvar(r *Registry) {
 // background goroutine for the life of the process. It returns the bound
 // address, so callers can log the resolved port.
 func StartDebugServer(addr string, r *Registry) (net.Addr, error) {
+	return StartDebugServerWith(addr, r, nil)
+}
+
+// StartDebugServerWith is StartDebugServer with extra handlers mounted on
+// the debug mux — how cmd/defenderd adds its /slo status endpoint next to
+// /metrics and pprof. Extra patterns must not collide with the mux's own
+// (/metrics, /debug/...).
+func StartDebugServerWith(addr string, r *Registry, extra map[string]http.Handler) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	PublishExpvar(r)
-	srv := &http.Server{Handler: NewDebugMux(r)}
+	mux := NewDebugMux(r)
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
+	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr(), nil
 }

@@ -1,0 +1,62 @@
+// Package log is the structured request logger of the serving stack: one
+// JSON line per event on a caller-owned writer, replacing ad-hoc
+// log.Printf so request outcomes are machine-queryable (jq) and every
+// line can carry the request's trace ID for correlation with the span
+// JSONL (see TRACING.md).
+//
+// The package is deliberately tiny: no levels, no global state, no
+// dependencies beyond the standard library. A nil *Logger discards
+// everything, so library code can log unconditionally and let the caller
+// decide whether a sink exists.
+package log
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Fields carries the per-event key/value payload. Values must be
+// JSON-marshalable; keys "ts" and "event" are reserved for the envelope
+// and are overwritten if present.
+type Fields map[string]any
+
+// Logger writes one JSON object per Log call, newline-terminated, with
+// deterministic key order (encoding/json sorts map keys). Safe for
+// concurrent use; the Logger serializes writes, so the writer needs no
+// locking of its own.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+}
+
+// New returns a Logger writing to w. A nil w (like a nil Logger)
+// discards every event.
+func New(w io.Writer) *Logger {
+	return &Logger{w: w, now: time.Now}
+}
+
+// Log emits one event line: the envelope ("ts" in RFC 3339 with
+// nanoseconds, UTC; "event") merged with fields. Marshal and write
+// errors are deliberately dropped — logging is diagnostics, never a
+// reason to fail the logged request.
+func (l *Logger) Log(event string, fields Fields) {
+	if l == nil || l.w == nil {
+		return
+	}
+	line := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		line[k] = v
+	}
+	line["ts"] = l.now().UTC().Format(time.RFC3339Nano)
+	line["event"] = event
+	data, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = l.w.Write(append(data, '\n'))
+}

@@ -1,0 +1,97 @@
+package log
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLogLineShape(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	l.now = func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 123456789, time.UTC) }
+	l.Log("solve", Fields{"status": 200, "trace_id": "abc", "latency_ms": 1.5})
+
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+		t.Fatalf("want exactly one newline-terminated line, got %q", line)
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(line), &got); err != nil {
+		t.Fatalf("line is not JSON: %v", err)
+	}
+	if got["event"] != "solve" || got["trace_id"] != "abc" || got["status"] != float64(200) {
+		t.Errorf("fields lost: %v", got)
+	}
+	if got["ts"] != "2026-08-08T12:00:00.123456789Z" {
+		t.Errorf("ts = %v, want RFC3339Nano UTC", got["ts"])
+	}
+	// encoding/json sorts map keys, so output is deterministic.
+	var buf2 bytes.Buffer
+	l2 := New(&buf2)
+	l2.now = l.now
+	l2.Log("solve", Fields{"latency_ms": 1.5, "trace_id": "abc", "status": 200})
+	if buf2.String() != line {
+		t.Errorf("same fields produced different bytes:\n%q\n%q", line, buf2.String())
+	}
+}
+
+func TestLogReservedKeysWin(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	l.now = func() time.Time { return time.Unix(0, 0).UTC() }
+	l.Log("real", Fields{"event": "spoofed", "ts": "spoofed"})
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["event"] != "real" || got["ts"] == "spoofed" {
+		t.Errorf("envelope keys must win over fields: %v", got)
+	}
+}
+
+func TestLogNilSafety(t *testing.T) {
+	var l *Logger
+	l.Log("never", Fields{"k": "v"}) // nil logger must not panic
+	New(nil).Log("never", nil)       // nil writer must not panic
+}
+
+func TestLogUnmarshalableFieldDropped(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	l.Log("bad", Fields{"ch": make(chan int)})
+	if buf.Len() != 0 {
+		t.Fatalf("marshal failure must drop the line, wrote %q", buf.String())
+	}
+}
+
+func TestLogConcurrentLinesIntact(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	var wg sync.WaitGroup
+	const workers, per = 8, 100
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Log("tick", Fields{"worker": w, "i": i})
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != workers*per {
+		t.Fatalf("got %d lines, want %d", len(lines), workers*per)
+	}
+	for _, line := range lines {
+		var got map[string]any
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("interleaved write corrupted a line: %q (%v)", line, err)
+		}
+	}
+}

@@ -67,7 +67,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return bw.Flush()
 }
 
-// writePromHistogram emits one histogram's cumulative series.
+// writePromHistogram emits one histogram's cumulative series. Buckets
+// holding the most recent sampled observation of a traced request carry
+// an OpenMetrics-style exemplar suffix —
+//
+//	name_bucket{le="0.25"} 17 # {trace_id="4bf9..."} 0.21 1754650000.123
+//
+// — linking the bucket back to a concrete trace in the JSONL stream
+// (cmd/tracetool renders it; see TRACING.md). Plain Prometheus text-0.0.4
+// parsers treat the suffix as a comment; OpenMetrics scrapers ingest it.
 func writePromHistogram(w io.Writer, pn string, h *Histogram) {
 	counts := h.bucketCounts()
 	last := -1
@@ -80,7 +88,12 @@ func writePromHistogram(w io.Writer, pn string, h *Histogram) {
 	var cum uint64
 	for i := 0; i <= last; i++ {
 		cum += counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(bucketUpper(i)), cum)
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d", pn, promFloat(bucketUpper(i)), cum)
+		if ex := h.exemplars[i].Load(); ex != nil && counts[i] > 0 {
+			fmt.Fprintf(w, " # {trace_id=%q} %s %s", ex.TraceID, promFloat(ex.Value),
+				promFloat(float64(ex.UnixNano)/1e9))
+		}
+		fmt.Fprintf(w, "\n")
 	}
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
 	fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(h.Sum()))

@@ -12,8 +12,9 @@ import (
 )
 
 // promSampleRe matches one exposition sample line: a valid metric name,
-// an optional {le="..."} label set, and a float value.
-var promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]+)"\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+// an optional {le="..."} label set, a float value, and an optional
+// OpenMetrics exemplar suffix (# {trace_id="..."} value timestamp).
+var promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]+)"\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)( # \{trace_id="[0-9a-f]{32}"\} [0-9.eE+-]+ [0-9.eE+-]+)?$`)
 
 // promTypeRe matches a # TYPE comment line.
 var promTypeRe = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
@@ -121,6 +122,42 @@ func TestWritePrometheusExposition(t *testing.T) {
 	}
 	if bucketLines < 2 {
 		t.Errorf("expected several bucket lines, got %d", bucketLines)
+	}
+}
+
+// Exemplar exposition: a bucket that received a sampled observation
+// carries the trace ID in the OpenMetrics exemplar syntax, on the bucket
+// line that holds that observation — and the body still validates
+// line-by-line against the exposition grammar.
+func TestWritePrometheusExemplars(t *testing.T) {
+	r := enabledRegistry()
+	h := r.Histogram("traced.seconds")
+	trace := strings.Repeat("ab", 16)
+	h.Observe(0.001)
+	h.ObserveWithExemplar(0.5, trace)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	validatePrometheus(t, body)
+
+	exemplarLines := 0
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.Contains(line, "# {trace_id=") {
+			continue
+		}
+		exemplarLines++
+		if !strings.HasPrefix(line, "traced_seconds_bucket{") {
+			t.Errorf("exemplar on a non-bucket line: %q", line)
+		}
+		if !strings.Contains(line, `# {trace_id="`+trace+`"} 0.5 `) {
+			t.Errorf("exemplar payload wrong: %q", line)
+		}
+	}
+	if exemplarLines != 1 {
+		t.Fatalf("got %d exemplar lines, want exactly 1 (only the sampled bucket)", exemplarLines)
 	}
 }
 

@@ -1,0 +1,155 @@
+package obs
+
+// slo.go is the service-level-objective side of the observability layer:
+// a fixed-memory rolling window over request outcomes from which
+// availability and latency burn rates are computed. cmd/defenderd wires
+// one SLOMonitor into the /readyz readiness probe so load balancers
+// drain the instance while the error budget is burning, before the
+// broker queue saturates into 429 storms. TRACING.md ("The SLO monitor")
+// is the operator's guide.
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOConfig tunes an SLOMonitor. The zero value is usable: every field
+// has a production default.
+type SLOConfig struct {
+	// Window is the rolling evaluation window (default 60s). Outcomes
+	// older than Window no longer influence the burn rates, so a drained
+	// incident stops tripping /readyz one window later.
+	Window time.Duration
+	// AvailabilityObjective is the target success ratio (default 0.999):
+	// the fraction of requests that must not fail server-side.
+	AvailabilityObjective float64
+	// LatencyObjective is the target fraction of requests that must
+	// complete under LatencyThreshold (default 0.99).
+	LatencyObjective float64
+	// LatencyThreshold is the latency SLO boundary (default 250ms).
+	LatencyThreshold time.Duration
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Window <= 0 {
+		c.Window = 60 * time.Second
+	}
+	// An objective of exactly 1 would zero the error budget and make
+	// every burn rate infinite; out-of-range values fall back to the
+	// defaults.
+	if c.AvailabilityObjective <= 0 || c.AvailabilityObjective >= 1 {
+		c.AvailabilityObjective = 0.999
+	}
+	if c.LatencyObjective <= 0 || c.LatencyObjective >= 1 {
+		c.LatencyObjective = 0.99
+	}
+	if c.LatencyThreshold <= 0 {
+		c.LatencyThreshold = 250 * time.Millisecond
+	}
+	return c
+}
+
+// sloCell is one second of outcome counts in the ring.
+type sloCell struct {
+	sec    int64 // unix second this cell currently represents
+	total  uint64
+	errors uint64
+	slow   uint64
+}
+
+// SLOMonitor accumulates request outcomes into a per-second ring buffer
+// spanning the configured window and reports burn rates over it. All
+// methods are safe for concurrent use; memory is fixed at one cell per
+// window second.
+type SLOMonitor struct {
+	cfg SLOConfig
+	now func() time.Time // injected by tests
+
+	mu    sync.Mutex
+	cells []sloCell
+}
+
+// NewSLOMonitor returns a monitor for cfg (zero fields defaulted).
+func NewSLOMonitor(cfg SLOConfig) *SLOMonitor {
+	cfg = cfg.withDefaults()
+	return &SLOMonitor{
+		cfg:   cfg,
+		now:   time.Now,
+		cells: make([]sloCell, int(cfg.Window/time.Second)+1),
+	}
+}
+
+// Record adds one request outcome: whether it succeeded from the SLO's
+// point of view (server-side failures and shed load are not-ok; client
+// errors are ok) and how long it took.
+func (m *SLOMonitor) Record(ok bool, latency time.Duration) {
+	if m == nil {
+		return
+	}
+	sec := m.now().Unix()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &m.cells[int(sec%int64(len(m.cells)))]
+	if c.sec != sec {
+		*c = sloCell{sec: sec}
+	}
+	c.total++
+	if !ok {
+		c.errors++
+	}
+	if latency > m.cfg.LatencyThreshold {
+		c.slow++
+	}
+}
+
+// SLOStatus is a point-in-time evaluation of the window, shaped for the
+// /readyz response body and the /slo debug endpoint.
+type SLOStatus struct {
+	// WindowSeconds is the evaluation window length.
+	WindowSeconds float64 `json:"window_seconds"`
+	// Requests, Errors and Slow count the window's outcomes. Slow is the
+	// number of requests over the latency threshold.
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	Slow     uint64 `json:"slow"`
+	// Availability is the window's success ratio (1 when idle).
+	Availability float64 `json:"availability"`
+	// AvailabilityBurnRate is the error rate divided by the availability
+	// error budget (1 - objective). 1.0 means the budget is being spent
+	// exactly as fast as it accrues; sustained values above it exhaust
+	// the budget ahead of schedule.
+	AvailabilityBurnRate float64 `json:"availability_burn_rate"`
+	// LatencyBurnRate is the same ratio for the latency objective: the
+	// over-threshold rate divided by (1 - latency objective).
+	LatencyBurnRate float64 `json:"latency_burn_rate"`
+}
+
+// Status evaluates the current window. An idle window reports perfect
+// availability and zero burn.
+func (m *SLOMonitor) Status() SLOStatus {
+	st := SLOStatus{Availability: 1}
+	if m == nil {
+		return st
+	}
+	st.WindowSeconds = m.cfg.Window.Seconds()
+	cutoff := m.now().Unix() - int64(m.cfg.Window/time.Second)
+	m.mu.Lock()
+	for i := range m.cells {
+		c := &m.cells[i]
+		if c.sec <= cutoff || c.total == 0 {
+			continue
+		}
+		st.Requests += c.total
+		st.Errors += c.errors
+		st.Slow += c.slow
+	}
+	m.mu.Unlock()
+	if st.Requests == 0 {
+		return st
+	}
+	total := float64(st.Requests)
+	st.Availability = 1 - float64(st.Errors)/total
+	st.AvailabilityBurnRate = (float64(st.Errors) / total) / (1 - m.cfg.AvailabilityObjective)
+	st.LatencyBurnRate = (float64(st.Slow) / total) / (1 - m.cfg.LatencyObjective)
+	return st
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testSLOMonitor returns a monitor with a controllable clock.
+func testSLOMonitor(cfg SLOConfig) (*SLOMonitor, *time.Time) {
+	m := NewSLOMonitor(cfg)
+	clock := time.Unix(1_700_000_000, 0)
+	m.now = func() time.Time { return clock }
+	return m, &clock
+}
+
+func TestSLOMonitorIdleWindow(t *testing.T) {
+	m, _ := testSLOMonitor(SLOConfig{})
+	st := m.Status()
+	if st.Requests != 0 || st.Errors != 0 || st.Slow != 0 {
+		t.Fatalf("idle window counted outcomes: %+v", st)
+	}
+	if st.Availability != 1 || st.AvailabilityBurnRate != 0 || st.LatencyBurnRate != 0 {
+		t.Fatalf("idle window must report perfect health, got %+v", st)
+	}
+	if st.WindowSeconds != 60 {
+		t.Errorf("default window = %v, want 60s", st.WindowSeconds)
+	}
+}
+
+func TestSLOMonitorBurnRateMath(t *testing.T) {
+	m, _ := testSLOMonitor(SLOConfig{
+		AvailabilityObjective: 0.99,
+		LatencyObjective:      0.9,
+		LatencyThreshold:      100 * time.Millisecond,
+	})
+	// 100 requests: 2 errors, 20 slow.
+	for i := 0; i < 100; i++ {
+		ok := i >= 2
+		lat := 10 * time.Millisecond
+		if i < 20 {
+			lat = 200 * time.Millisecond
+		}
+		m.Record(ok, lat)
+	}
+	st := m.Status()
+	if st.Requests != 100 || st.Errors != 2 || st.Slow != 20 {
+		t.Fatalf("counts = %+v, want 100/2/20", st)
+	}
+	if math.Abs(st.Availability-0.98) > 1e-12 {
+		t.Errorf("availability = %v, want 0.98", st.Availability)
+	}
+	// error rate 0.02 over a 0.01 budget → burn 2.0
+	if math.Abs(st.AvailabilityBurnRate-2.0) > 1e-9 {
+		t.Errorf("availability burn = %v, want 2.0", st.AvailabilityBurnRate)
+	}
+	// slow rate 0.20 over a 0.1 budget → burn 2.0
+	if math.Abs(st.LatencyBurnRate-2.0) > 1e-9 {
+		t.Errorf("latency burn = %v, want 2.0", st.LatencyBurnRate)
+	}
+}
+
+func TestSLOMonitorWindowExpiry(t *testing.T) {
+	m, clock := testSLOMonitor(SLOConfig{Window: 10 * time.Second})
+	m.Record(false, time.Second) // an error now
+	if st := m.Status(); st.Errors != 1 {
+		t.Fatalf("fresh error not counted: %+v", st)
+	}
+	*clock = clock.Add(5 * time.Second)
+	m.Record(true, time.Millisecond)
+	if st := m.Status(); st.Requests != 2 || st.Errors != 1 {
+		t.Fatalf("mid-window status = %+v, want 2 requests / 1 error", st)
+	}
+	// Advance past the window: the old error must age out.
+	*clock = clock.Add(11 * time.Second)
+	st := m.Status()
+	if st.Requests != 0 || st.Errors != 0 {
+		t.Fatalf("expired outcomes still counted: %+v", st)
+	}
+	if st.Availability != 1 || st.AvailabilityBurnRate != 0 {
+		t.Fatalf("drained window must be healthy again: %+v", st)
+	}
+}
+
+func TestSLOMonitorRingReuse(t *testing.T) {
+	// Wrap the ring several times; stale cells from earlier laps must be
+	// overwritten, not double-counted.
+	m, clock := testSLOMonitor(SLOConfig{Window: 3 * time.Second})
+	for i := 0; i < 20; i++ {
+		m.Record(true, time.Millisecond)
+		*clock = clock.Add(time.Second)
+	}
+	st := m.Status()
+	// The clock ended at t+20 with records at t..t+19; a 3s window keeps
+	// the seconds after t+17, i.e. the records at t+18 and t+19.
+	if st.Requests != 2 {
+		t.Fatalf("after wrapping, requests = %d, want 2", st.Requests)
+	}
+}
+
+func TestSLOMonitorDefaultsGuardObjectives(t *testing.T) {
+	for _, bad := range []float64{0, 1, 1.5, -0.2} {
+		cfg := SLOConfig{AvailabilityObjective: bad, LatencyObjective: bad}.withDefaults()
+		if cfg.AvailabilityObjective != 0.999 || cfg.LatencyObjective != 0.99 {
+			t.Errorf("objective %v not defaulted: %+v", bad, cfg)
+		}
+	}
+}
+
+func TestSLOMonitorNilSafe(t *testing.T) {
+	var m *SLOMonitor
+	m.Record(true, time.Second) // must not panic
+	if st := m.Status(); st.Availability != 1 {
+		t.Fatalf("nil monitor status = %+v, want healthy", st)
+	}
+}
+
+func TestSLOMonitorConcurrent(t *testing.T) {
+	m, _ := testSLOMonitor(SLOConfig{})
+	var wg sync.WaitGroup
+	const workers, per = 8, 250
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Record(i%10 != 0, time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	st := m.Status()
+	if st.Requests != workers*per {
+		t.Fatalf("requests = %d, want %d", st.Requests, workers*per)
+	}
+	if st.Errors != workers*per/10 {
+		t.Fatalf("errors = %d, want %d", st.Errors, workers*per/10)
+	}
+}

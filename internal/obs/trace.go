@@ -1,0 +1,131 @@
+package obs
+
+// trace.go is the request-scoped side of the tracing layer: a TraceContext
+// (trace ID, current span ID, sampling decision) carried through
+// context.Context, so every span started with StartSpanCtx on the request
+// path shares one trace ID and records its parent — turning the flat span
+// JSONL of SetTraceWriter into connected per-request trees that
+// cmd/tracetool can reassemble. TRACING.md is the operator's guide.
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"time"
+)
+
+// TraceContext is the per-request correlation state: which trace the
+// current work belongs to, which span is the current parent, and whether
+// the trace was sampled at ingress. The zero value means "no trace".
+type TraceContext struct {
+	// TraceID identifies the request end-to-end: 32 lowercase hex
+	// characters (16 random bytes), minted once at ingress and echoed to
+	// the client in the X-Defender-Trace-Id response header.
+	TraceID string
+	// SpanID is the identifier of the innermost open span — the parent of
+	// any span started under this context. Empty at ingress, before the
+	// root span opens.
+	SpanID string
+	// Sampled is the ingress sampling decision. Spans under an unsampled
+	// trace still feed their latency histograms but emit no JSONL events,
+	// so sampling bounds trace volume without losing metrics.
+	Sampled bool
+}
+
+// Valid reports whether tc carries a trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != "" }
+
+// traceKey is the private context key of the TraceContext.
+type traceKey struct{}
+
+// ContextWithTrace returns a context carrying tc. An invalid tc returns
+// ctx unchanged.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, tc)
+}
+
+// TraceFromContext extracts the TraceContext carried by ctx, if any.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceKey{}).(TraceContext)
+	return tc, ok
+}
+
+// DetachTrace returns a fresh background context carrying only ctx's
+// TraceContext — the handoff primitive for work that must outlive the
+// request's cancellation (a 202 job conversion) while staying
+// correlated to it. Without a trace it returns a plain background
+// context.
+func DetachTrace(ctx context.Context) context.Context {
+	if tc, ok := TraceFromContext(ctx); ok {
+		return ContextWithTrace(context.Background(), tc)
+	}
+	return context.Background()
+}
+
+// NewTraceID mints a 32-hex-character random trace ID.
+func NewTraceID() string { return randomHex(16) }
+
+// newSpanID mints a 16-hex-character random span ID.
+func newSpanID() string { return randomHex(8) }
+
+// randomHex returns 2n lowercase hex characters of cryptographic
+// randomness. crypto/rand cannot fail on supported platforms; if it ever
+// does, the nanosecond clock keeps IDs unique enough for diagnostics
+// (tracing must never fail the traced request).
+func randomHex(n int) string {
+	b := make([]byte, n)
+	if _, err := cryptorand.Read(b); err != nil {
+		binary.BigEndian.PutUint64(b[:8], uint64(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b)
+}
+
+// StartTrace mints the TraceContext of a new request at ingress. The
+// sampling decision is deterministic in the trace ID (SampleTrace), so
+// replaying a trace ID replays its decision.
+func StartTrace(sampleRate float64) TraceContext {
+	id := NewTraceID()
+	return TraceContext{TraceID: id, Sampled: SampleTrace(id, sampleRate)}
+}
+
+// ValidTraceID reports whether s is a well-formed trace ID: 32 lowercase
+// hex characters. Ingress uses it to decide whether an inbound
+// X-Defender-Trace-Id header may be adopted for cross-service
+// correlation.
+func ValidTraceID(s string) bool {
+	if len(s) != 32 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// SampleTrace is the deterministic head-based sampler: it hashes the
+// trace ID's first 16 hex characters into [0, 1) and compares against
+// rate. rate >= 1 samples everything, rate <= 0 nothing, and a given
+// trace ID always decides the same way — so multi-process captures of
+// one request agree.
+func SampleTrace(traceID string, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 || len(traceID) < 16 {
+		return false
+	}
+	raw, err := hex.DecodeString(traceID[:16])
+	if err != nil {
+		return false
+	}
+	u := binary.BigEndian.Uint64(raw)
+	const scale = 1 << 63
+	return float64(u>>1)/scale < rate
+}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeEvents parses the JSONL buffer a test trace writer accumulated.
+func decodeEvents(t *testing.T, buf *bytes.Buffer) []SpanEvent {
+	t.Helper()
+	var events []SpanEvent
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev SpanEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: newSpanID(), Sampled: true}
+	ctx := ContextWithTrace(context.Background(), tc)
+	got, ok := TraceFromContext(ctx)
+	if !ok || got != tc {
+		t.Fatalf("TraceFromContext = %+v, %v; want %+v, true", got, ok, tc)
+	}
+	if _, ok := TraceFromContext(context.Background()); ok {
+		t.Fatal("background context must carry no trace")
+	}
+	// An invalid TraceContext must not be stored.
+	if _, ok := TraceFromContext(ContextWithTrace(context.Background(), TraceContext{})); ok {
+		t.Fatal("invalid TraceContext must not round-trip")
+	}
+}
+
+func TestNewTraceIDShape(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 64; i++ {
+		id := NewTraceID()
+		if !ValidTraceID(id) {
+			t.Fatalf("NewTraceID() = %q is not a valid trace ID", id)
+		}
+		if seen[id] {
+			t.Fatalf("NewTraceID() repeated %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	cases := []struct {
+		id   string
+		want bool
+	}{
+		{strings.Repeat("a", 32), true},
+		{strings.Repeat("0", 32), true},
+		{strings.Repeat("A", 32), false}, // uppercase rejected
+		{strings.Repeat("a", 31), false},
+		{strings.Repeat("a", 33), false},
+		{strings.Repeat("g", 32), false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := ValidTraceID(c.id); got != c.want {
+			t.Errorf("ValidTraceID(%q) = %v, want %v", c.id, got, c.want)
+		}
+	}
+}
+
+func TestSampleTraceDeterministicAndBounded(t *testing.T) {
+	id := NewTraceID()
+	if !SampleTrace(id, 1.0) {
+		t.Error("rate 1.0 must sample everything")
+	}
+	if SampleTrace(id, 0) {
+		t.Error("rate 0 must sample nothing")
+	}
+	if got1, got2 := SampleTrace(id, 0.5), SampleTrace(id, 0.5); got1 != got2 {
+		t.Error("sampling must be deterministic per trace ID")
+	}
+	// At rate 0.5 a few hundred random IDs must land on both sides.
+	sampled := 0
+	const n = 400
+	for i := 0; i < n; i++ {
+		if SampleTrace(NewTraceID(), 0.5) {
+			sampled++
+		}
+	}
+	if sampled == 0 || sampled == n {
+		t.Errorf("rate 0.5 sampled %d/%d; want a nontrivial split", sampled, n)
+	}
+}
+
+func TestStartSpanCtxBuildsTraceTree(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	var buf bytes.Buffer
+	r.SetTraceWriter(&buf)
+
+	tc := TraceContext{TraceID: NewTraceID(), Sampled: true}
+	ctx := ContextWithTrace(context.Background(), tc)
+
+	root, ctx := r.StartSpanCtx(ctx, "test.root")
+	child, childCtx := r.StartSpanCtx(ctx, "test.child")
+	grand, _ := r.StartSpanCtx(childCtx, "test.grandchild")
+	grand.End()
+	child.End()
+	root.End()
+
+	events := decodeEvents(t, &buf)
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	byName := make(map[string]SpanEvent)
+	for _, ev := range events {
+		byName[ev.Name] = ev
+	}
+	re, ce, ge := byName["test.root"], byName["test.child"], byName["test.grandchild"]
+	if re.TraceID != tc.TraceID || ce.TraceID != tc.TraceID || ge.TraceID != tc.TraceID {
+		t.Fatalf("trace IDs diverged: %q %q %q, want all %q", re.TraceID, ce.TraceID, ge.TraceID, tc.TraceID)
+	}
+	if re.ParentID != "" {
+		t.Errorf("root parent = %q, want empty", re.ParentID)
+	}
+	if ce.ParentID != re.SpanID {
+		t.Errorf("child parent = %q, want root span %q", ce.ParentID, re.SpanID)
+	}
+	if ge.ParentID != ce.SpanID {
+		t.Errorf("grandchild parent = %q, want child span %q", ge.ParentID, ce.SpanID)
+	}
+	ids := map[string]bool{re.SpanID: true, ce.SpanID: true, ge.SpanID: true}
+	if len(ids) != 3 || ids[""] {
+		t.Errorf("span IDs not unique and non-empty: %v", ids)
+	}
+	if root.TraceID() != tc.TraceID {
+		t.Errorf("Span.TraceID() = %q, want %q", root.TraceID(), tc.TraceID)
+	}
+}
+
+func TestStartSpanCtxWithoutTraceActsLikeStartSpan(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	var buf bytes.Buffer
+	r.SetTraceWriter(&buf)
+
+	sp, ctx := r.StartSpanCtx(context.Background(), "test.plain")
+	if _, ok := TraceFromContext(ctx); ok {
+		t.Fatal("ctx must stay trace-free")
+	}
+	sp.End()
+	events := decodeEvents(t, &buf)
+	if len(events) != 1 || events[0].TraceID != "" || events[0].SpanID != "" {
+		t.Fatalf("free-standing span event = %+v; want no trace fields", events)
+	}
+	if r.Histogram("test.plain.seconds").Count() != 1 {
+		t.Error("free-standing ctx span must still feed its histogram")
+	}
+}
+
+func TestUnsampledSpanFeedsHistogramNotTrace(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	var buf bytes.Buffer
+	r.SetTraceWriter(&buf)
+
+	tc := TraceContext{TraceID: NewTraceID(), Sampled: false}
+	sp, _ := r.StartSpanCtx(ContextWithTrace(context.Background(), tc), "test.unsampled")
+	sp.End()
+
+	if buf.Len() != 0 {
+		t.Fatalf("unsampled span emitted an event: %s", buf.String())
+	}
+	if r.Histogram("test.unsampled.seconds").Count() != 1 {
+		t.Error("unsampled span must still observe its histogram")
+	}
+	// And no exemplar either: the trace ID leads nowhere in the JSONL.
+	for _, b := range r.Histogram("test.unsampled.seconds").Snapshot().Buckets {
+		if b.Exemplar != nil {
+			t.Errorf("unsampled span left exemplar %+v", b.Exemplar)
+		}
+	}
+}
+
+func TestSampledSpanLeavesExemplar(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	tc := TraceContext{TraceID: NewTraceID(), Sampled: true}
+	sp, _ := r.StartSpanCtx(ContextWithTrace(context.Background(), tc), "test.sampled")
+	sp.End()
+
+	snap := r.Histogram("test.sampled.seconds").Snapshot()
+	if len(snap.Buckets) == 0 {
+		t.Fatal("no buckets in snapshot")
+	}
+	found := false
+	for _, b := range snap.Buckets {
+		if b.Exemplar != nil {
+			found = true
+			if b.Exemplar.TraceID != tc.TraceID {
+				t.Errorf("exemplar trace = %q, want %q", b.Exemplar.TraceID, tc.TraceID)
+			}
+			if b.Exemplar.Value < 0 {
+				t.Errorf("exemplar value = %v, want >= 0", b.Exemplar.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("sampled span left no exemplar")
+	}
+}
+
+func TestStartSpanCtxDisabledRegistryInert(t *testing.T) {
+	r := NewRegistry()
+	ctx := ContextWithTrace(context.Background(), TraceContext{TraceID: NewTraceID(), Sampled: true})
+	sp, out := r.StartSpanCtx(ctx, "test.disabled")
+	if sp.reg != nil {
+		t.Error("disabled StartSpanCtx must return the inert zero span")
+	}
+	if out != ctx {
+		t.Error("disabled StartSpanCtx must return ctx unchanged")
+	}
+	sp.End() // must not panic
+}
+
+func TestDetachTrace(t *testing.T) {
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: newSpanID(), Sampled: true}
+	ctx, cancel := context.WithCancel(ContextWithTrace(context.Background(), tc))
+	cancel()
+	detached := DetachTrace(ctx)
+	if detached.Err() != nil {
+		t.Fatal("detached context must not inherit cancellation")
+	}
+	got, ok := TraceFromContext(detached)
+	if !ok || got != tc {
+		t.Fatalf("detached trace = %+v, %v; want %+v", got, ok, tc)
+	}
+	if DetachTrace(context.Background()).Err() != nil {
+		t.Fatal("trace-free detach must return a live background context")
+	}
+}

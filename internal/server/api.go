@@ -18,6 +18,14 @@ package server
 // math/big.Rat.RatString ("2/3", or "1" for integers) — the service
 // never converts game values to floating point.
 
+import "github.com/defender-game/defender/internal/obs"
+
+// TraceHeader is the request/response header carrying the request's
+// trace ID. Every response sets it; a request may supply its own valid
+// (32 lowercase hex) ID to correlate client-side records with the
+// server's span JSONL — see TRACING.md.
+const TraceHeader = "X-Defender-Trace-Id"
+
 // SolveRequest is the body of POST /v1/solve. Exactly one of Graph6 or
 // (N, Edges) must describe the graph.
 type SolveRequest struct {
@@ -120,6 +128,24 @@ type JobStatus struct {
 	Result *SolveResult `json:"result,omitempty"`
 	// Error is set once Status is "failed".
 	Error *ErrorInfo `json:"error,omitempty"`
+}
+
+// ReadyStatus is the body of GET /readyz: 200 with status "ready", or
+// 503 with status "unavailable" and the tripped condition in Reason,
+// so load balancers (and operators reading the body) see why the
+// instance is shedding. SLO carries the rolling-window burn rates
+// behind the decision.
+type ReadyStatus struct {
+	Status string `json:"status"`
+	// Reason names the tripped condition ("queue_high_water" or
+	// "burn_rate"); empty when ready.
+	Reason string `json:"reason,omitempty"`
+	// QueueDepth and QueueHighWater expose the backpressure check's
+	// inputs.
+	QueueDepth     int `json:"queue_depth"`
+	QueueHighWater int `json:"queue_high_water"`
+	// SLO is the monitor's current window evaluation.
+	SLO obs.SLOStatus `json:"slo"`
 }
 
 // ErrorBody is the body of every non-2xx response: machine-readable code

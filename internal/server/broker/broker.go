@@ -47,7 +47,6 @@ var (
 	cancelled  = obs.Default().Counter("broker.cancelled")
 	queueDepth = obs.Default().Gauge("broker.queue_depth")
 	workersG   = obs.Default().Gauge("broker.workers")
-	waitHist   = obs.Default().Histogram("broker.wait_seconds")
 	runHist    = obs.Default().Histogram("broker.run_seconds")
 )
 
@@ -64,10 +63,17 @@ type Result struct {
 
 // request pairs a task with its private delivery channel.
 type request struct {
-	ctx      context.Context
-	task     Task
-	out      chan Result // buffered 1: delivery never blocks a worker
-	enqueued time.Time
+	ctx  context.Context
+	task Task
+	out  chan Result // buffered 1: delivery never blocks a worker
+	// wait times the submission-to-pickup interval as the span
+	// "broker.queue_wait" (histogram broker.queue_wait.seconds): when the
+	// submission context carries a trace, queue time shows up as its own
+	// region of the request's waterfall instead of vanishing into the
+	// handler's wall clock. Started by Submit before the enqueue — a
+	// worker may dequeue the request immediately — and ended by the
+	// worker at pickup, even for requests whose deadline already expired.
+	wait obs.Span
 }
 
 // Broker is a bounded worker pool. Construct with New; the zero value is
@@ -105,7 +111,12 @@ func New(workers, queueCap int) *Broker {
 // and a closed broker ErrClosed, and in both cases no channel is handed
 // out (nothing will ever be delivered).
 func (b *Broker) Submit(ctx context.Context, task Task) (<-chan Result, error) {
-	req := &request{ctx: ctx, task: task, out: make(chan Result, 1), enqueued: time.Now()}
+	req := &request{ctx: ctx, task: task, out: make(chan Result, 1)}
+	// The queue-wait span parents to ctx's current span (the handler's
+	// "server.solve"); the derived child context is dropped on purpose so
+	// the task's own spans stay siblings of the wait, not children of it.
+	// On rejection the span is abandoned un-Ended: nothing waited.
+	req.wait, _ = obs.Default().StartSpanCtx(ctx, "broker.queue_wait")
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -139,7 +150,7 @@ func (b *Broker) worker() {
 	defer b.wg.Done()
 	for req := range b.queue {
 		queueDepth.Set(float64(len(b.queue)))
-		waitHist.Observe(time.Since(req.enqueued).Seconds())
+		req.wait.End()
 		if err := req.ctx.Err(); err != nil {
 			cancelled.Inc()
 			req.out <- Result{Err: err}

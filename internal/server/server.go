@@ -10,6 +10,7 @@ import (
 
 	"github.com/defender-game/defender/internal/graph"
 	"github.com/defender-game/defender/internal/obs"
+	obslog "github.com/defender-game/defender/internal/obs/log"
 	"github.com/defender-game/defender/internal/server/broker"
 )
 
@@ -24,6 +25,17 @@ var (
 	solveRejected = obs.Default().Counter("server.solve.rejected")
 	solveErrors   = obs.Default().Counter("server.solve.errors")
 	jobsRequests  = obs.Default().Counter("server.jobs.requests")
+)
+
+// Readiness metrics: every /readyz evaluation bumps the check counter
+// (and the unavailable counter when it sheds), and publishes the SLO
+// monitor's burn rates as gauges so the scrape path sees what the
+// probe saw.
+var (
+	readyzChecks      = obs.Default().Counter("server.readyz.checks")
+	readyzUnavailable = obs.Default().Counter("server.readyz.unavailable")
+	availabilityBurn  = obs.Default().Gauge("server.slo.availability_burn")
+	latencyBurn       = obs.Default().Gauge("server.slo.latency_burn")
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -48,6 +60,28 @@ type Config struct {
 	MaxVertices int
 	// MaxBodyBytes caps the request body (default 1 MiB).
 	MaxBodyBytes int64
+	// TraceSampleRate is the head-based trace sampling rate in [0, 1]
+	// applied to requests that don't bring their own trace ID (default
+	// 1.0: every request's spans reach the JSONL sink). Sampling is
+	// deterministic per trace ID, so a trace is always all-or-nothing.
+	// Note the zero value means "default to 1.0"; pass a tiny rate
+	// (e.g. 1e-9), not 0, to effectively disable emission.
+	TraceSampleRate float64
+	// QueueHighWater is the broker queue depth at which /readyz starts
+	// reporting unavailable (default 3/4 of QueueCap): drain traffic
+	// before the queue fills into 429s.
+	QueueHighWater int
+	// MaxBurnRate is the SLO burn rate (availability or latency) at
+	// which /readyz trips (default 10: the classic fast-burn page
+	// threshold).
+	MaxBurnRate float64
+	// SLO tunes the rolling-window monitor behind /readyz; zero fields
+	// take the obs.SLOConfig defaults.
+	SLO obs.SLOConfig
+	// RequestLog, when non-nil, receives one structured line per API
+	// request (event "request": method, path, status, latency, trace
+	// ID). A nil logger discards.
+	RequestLog *obslog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +106,22 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	// lint:invariant(floateq): the untouched zero value is the "defaulted"
+	// sentinel, never a computed float; any nonzero rate passes through.
+	if c.TraceSampleRate == 0 {
+		c.TraceSampleRate = 1
+	}
+	if c.QueueHighWater == 0 {
+		c.QueueHighWater = c.QueueCap * 3 / 4
+		if c.QueueHighWater < 1 {
+			c.QueueHighWater = 1
+		}
+	}
+	// lint:invariant(floateq): zero-value sentinel check, not a computed
+	// float comparison.
+	if c.MaxBurnRate == 0 {
+		c.MaxBurnRate = 10
+	}
 	return c
 }
 
@@ -84,6 +134,7 @@ type Server struct {
 	cache  *solveCache
 	jobs   *jobStore
 	mux    *http.ServeMux
+	slo    *obs.SLOMonitor
 
 	// solveFn is the instance solver; tests swap it to script slow or
 	// failing solves deterministically.
@@ -98,6 +149,7 @@ func New(cfg Config) *Server {
 		broker:  broker.New(cfg.Workers, cfg.QueueCap),
 		cache:   newSolveCache(),
 		jobs:    newJobStore(cfg.JobTTL),
+		slo:     obs.NewSLOMonitor(cfg.SLO),
 		solveFn: solve,
 	}
 	s.mux = http.NewServeMux()
@@ -106,16 +158,108 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBad(http.StatusNotFound, CodeNotFound, "no such route %s", r.URL.Path))
 	})
 	return s
 }
 
-// Handler returns the public API handler. Debug surfaces (/metrics,
-// pprof) live on the separate mux of obs.NewDebugMux, bound privately by
-// cmd/defenderd.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the public API handler: the route mux wrapped in the
+// per-request observability layer (ingress). Debug surfaces (/metrics,
+// pprof, /slo) live on the separate mux of obs.NewDebugMux, bound
+// privately by cmd/defenderd.
+func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.serveTraced) }
+
+// statusWriter captures the response status for the request log and the
+// SLO monitor. WriteHeader-less handlers imply 200, matching net/http.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// serveTraced is the ingress of every API request: it establishes the
+// request's TraceContext (honoring a valid inbound X-Defender-Trace-Id,
+// minting one otherwise), echoes the ID on the response, serves the
+// route, then records the outcome into the SLO monitor and the request
+// log. Trace creation precedes routing so every handler — and the
+// broker and solver stack below handleSolve — sees the same trace in
+// its context.
+func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	traceID := r.Header.Get(TraceHeader)
+	if !obs.ValidTraceID(traceID) {
+		traceID = obs.NewTraceID()
+	}
+	tc := obs.TraceContext{TraceID: traceID, Sampled: obs.SampleTrace(traceID, s.cfg.TraceSampleRate)}
+	r = r.WithContext(obs.ContextWithTrace(r.Context(), tc))
+	w.Header().Set(TraceHeader, traceID)
+
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+
+	latency := time.Since(start)
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		// Probes (/healthz, /readyz) stay out of the SLO window: they are
+		// cheap, always succeed, and would dilute the burn rates the
+		// /readyz decision is based on.
+		ok := sw.status < http.StatusInternalServerError && sw.status != http.StatusTooManyRequests
+		s.slo.Record(ok, latency)
+	}
+	s.cfg.RequestLog.Log("request", obslog.Fields{
+		"method":     r.Method,
+		"path":       r.URL.Path,
+		"status":     sw.status,
+		"latency_ms": float64(latency) / float64(time.Millisecond),
+		"trace_id":   traceID,
+		"sampled":    tc.Sampled,
+	})
+}
+
+// SLOHandler returns the /slo debug endpoint: the monitor's current
+// window evaluation as JSON. cmd/defenderd mounts it on the private
+// debug mux next to /metrics.
+func (s *Server) SLOHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.slo.Status())
+	})
+}
+
+// handleReadyz is the readiness probe: unlike the pure-liveness
+// /healthz it says whether this instance should receive NEW traffic.
+// It sheds (503 + structured ReadyStatus body) when the broker queue
+// is above the high-water mark or an SLO burn rate is past
+// MaxBurnRate, so load balancers drain the instance before overload
+// turns into 429 storms or budget exhaustion.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	readyzChecks.Inc()
+	st := ReadyStatus{
+		Status:         "ready",
+		QueueDepth:     s.broker.QueueDepth(),
+		QueueHighWater: s.cfg.QueueHighWater,
+		SLO:            s.slo.Status(),
+	}
+	availabilityBurn.Set(st.SLO.AvailabilityBurnRate)
+	latencyBurn.Set(st.SLO.LatencyBurnRate)
+	switch {
+	case st.QueueDepth >= st.QueueHighWater:
+		st.Status, st.Reason = "unavailable", "queue_high_water"
+	case st.SLO.AvailabilityBurnRate >= s.cfg.MaxBurnRate,
+		st.SLO.LatencyBurnRate >= s.cfg.MaxBurnRate:
+		st.Status, st.Reason = "unavailable", "burn_rate"
+	}
+	if st.Reason != "" {
+		readyzUnavailable.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, st)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
 
 // Close stops admission and waits for in-flight solves, bounded by ctx.
 func (s *Server) Close(ctx context.Context) error {
@@ -145,7 +289,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	solveRequests.Inc()
 	start := time.Now()
-	sp := obs.Default().StartSpan("server.solve")
+	// The span adopts the trace serveTraced installed; the derived
+	// context makes it the parent of the broker's queue-wait span and of
+	// every solver span below.
+	sp, traceCtx := obs.Default().StartSpanCtx(r.Context(), "server.solve")
 	defer sp.End()
 
 	req, apiErr := decodeSolveRequest(w, r, s.cfg.MaxBodyBytes)
@@ -181,8 +328,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// The solve's context is detached from the HTTP request's: a 202
 	// conversion outlives this handler, and a poller still wants the
 	// result after the submitting client hangs up. The deadline bounds
-	// abandoned work.
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	// abandoned work. DetachTrace keeps the request's trace across the
+	// detachment, so the queue-wait and solver spans stay correlated.
+	ctx, cancel := context.WithTimeout(obs.DetachTrace(traceCtx), timeout)
 	ch, err := s.broker.Submit(ctx, func(ctx context.Context) (any, error) {
 		return s.cache.Do(ctx, key, func() (*SolveResult, error) {
 			return s.solveFn(ctx, g, g6, req.K, req.Attackers)

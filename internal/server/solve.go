@@ -148,7 +148,7 @@ func solve(ctx context.Context, g *graph.Graph, g6 string, k, attackers int) (*S
 		K:         k,
 		Attackers: attackers,
 	}
-	rho, err := cover.EdgeCoverNumber(g)
+	rho, err := cover.EdgeCoverNumberCtx(ctx, g)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +158,7 @@ func solve(ctx context.Context, g *graph.Graph, g6 string, k, attackers int) (*S
 		return nil, err
 	}
 
-	ne, family, err := core.SolveAny(g, attackers, k)
+	ne, family, err := core.SolveAnyCtx(ctx, g, attackers, k)
 	switch {
 	case err == nil:
 		res.MixedNE = renderMixedNE(g, ne, family, res)
@@ -172,7 +172,7 @@ func solve(ctx context.Context, g *graph.Graph, g6 string, k, attackers int) (*S
 		return nil, err
 	}
 
-	if value, _, _, err := core.GameValue(g, k); err == nil {
+	if value, _, _, err := core.GameValueCtx(ctx, g, k); err == nil {
 		res.GameValue = value.RatString()
 		res.GameValueSource = "lp"
 	} else if !errors.Is(err, core.ErrValueTooLarge) {
