@@ -111,10 +111,12 @@ loadtest:
 # defenderd with full sampling, a trace sink and a request log, drive it
 # with loadgen, drain gracefully, then assert the capture — every trace
 # connected with a server.solve root (tracetool -check), the broker's
-# queue-wait span present, the tail traceable (-p99), and the Prometheus
-# exposition carrying trace_id exemplars. Leaves trace_smoke.jsonl,
-# requests_smoke.jsonl, metrics_smoke.prom and BENCH_tracegen.json
-# behind for inspection; CI's trace-smoke job adds jq assertions on top.
+# queue-wait span present, the tail traceable (-p99), and the
+# OpenMetrics exposition carrying trace_id exemplars while the 0.0.4
+# exposition stays exemplar-free (its grammar forbids them). Leaves
+# trace_smoke.jsonl, requests_smoke.jsonl, metrics_smoke.prom (0.0.4),
+# metrics_smoke.om (OpenMetrics) and BENCH_tracegen.json behind for
+# inspection; CI's trace-smoke job adds jq assertions on top.
 TRACESMOKE_ADDR ?= 127.0.0.1:18212
 TRACESMOKE_DEBUG_ADDR ?= 127.0.0.1:18213
 TRACESMOKE_DURATION ?= 5s
@@ -138,6 +140,7 @@ trace-smoke:
 		-concurrency $(LOADTEST_CONCURRENCY) -min-rps $(LOADTEST_MIN_RPS) \
 		-bench-out BENCH_tracegen.json; \
 	curl -fsS "http://$(TRACESMOKE_DEBUG_ADDR)/metrics?format=prometheus" > metrics_smoke.prom; \
+	curl -fsS "http://$(TRACESMOKE_DEBUG_ADDR)/metrics?format=openmetrics" > metrics_smoke.om; \
 	curl -fsS http://$(TRACESMOKE_DEBUG_ADDR)/slo > slo_smoke.json; \
 	kill -TERM $$pid; wait $$pid 2>/dev/null || true; \
 	trap - EXIT INT TERM; \
@@ -145,8 +148,12 @@ trace-smoke:
 	./bin/tracetool trace_smoke.jsonl | grep -q 'broker\.queue_wait' \
 		|| { echo "trace-smoke: no broker.queue_wait span captured"; exit 1; }; \
 	./bin/tracetool -p99 server.solve.seconds trace_smoke.jsonl; \
-	grep -q '# {trace_id=' metrics_smoke.prom \
-		|| { echo "trace-smoke: no trace_id exemplars in the Prometheus exposition"; exit 1; }
+	grep -q '# {trace_id=' metrics_smoke.om \
+		|| { echo "trace-smoke: no trace_id exemplars in the OpenMetrics exposition"; exit 1; }; \
+	tail -1 metrics_smoke.om | grep -q '^# EOF$$' \
+		|| { echo "trace-smoke: OpenMetrics exposition missing the # EOF terminator"; exit 1; }; \
+	! grep -q '# {trace_id=' metrics_smoke.prom \
+		|| { echo "trace-smoke: exemplars leaked into the text 0.0.4 exposition (would break its parsers)"; exit 1; }
 
 linkcheck:
 	$(GO) run ./cmd/linkcheck $(DOCS)

@@ -80,14 +80,6 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	if *traceSample < 0 || *traceSample > 1 {
 		return fmt.Errorf("trace-sample: rate %v outside [0, 1]", *traceSample)
 	}
-	sampleRate := *traceSample
-	// Config treats 0 as "default to 1.0"; an explicit -trace-sample 0
-	// means "never sample", which any negative rate encodes.
-	// lint:invariant(floateq): comparing the flag against its literal zero
-	// sentinel, not a computed float.
-	if sampleRate == 0 {
-		sampleRate = -1
-	}
 
 	reg := obs.Default()
 	reg.SetEnabled(true)
@@ -118,7 +110,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		SyncWait:        *syncWait,
 		SolveTimeout:    *solveTimeout,
 		MaxVertices:     *maxVertices,
-		TraceSampleRate: sampleRate,
+		TraceSampleRate: traceSample,
 		QueueHighWater:  *queueHW,
 		RequestLog:      requestLog,
 	})

@@ -41,8 +41,8 @@ type Histogram struct {
 // the most recent sampled observation that landed in the bucket, with the
 // trace ID to look it up in the trace JSONL (cmd/tracetool) and the
 // observation it stands for. Exposed in both the JSON snapshot and the
-// OpenMetrics-style `# {trace_id=...}` suffix of the Prometheus
-// exposition.
+// `# {trace_id=...}` suffix of the OpenMetrics exposition
+// (WriteOpenMetrics; the text 0.0.4 rendering has no exemplar syntax).
 type Exemplar struct {
 	// TraceID is the trace the observation belongs to.
 	TraceID string `json:"trace_id"`

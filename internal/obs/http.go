@@ -14,7 +14,10 @@ import (
 //
 //	/metrics            the registry snapshot as indented JSON; with
 //	                    ?format=prometheus (or an Accept header asking
-//	                    for text exposition) the Prometheus rendering
+//	                    for text exposition) the Prometheus 0.0.4
+//	                    rendering; with ?format=openmetrics (or an
+//	                    OpenMetrics Accept header) the OpenMetrics
+//	                    rendering, the only one carrying exemplars
 //	/debug/vars         expvar (includes the registry under "defender.metrics")
 //	/debug/pprof/...    the standard net/http/pprof profiles
 //
@@ -23,15 +26,20 @@ import (
 func NewDebugMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
-		if wantsPrometheus(req) {
+		switch metricsFormat(req) {
+		case formatOpenMetrics:
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			// lint:invariant(errlost): best-effort debug endpoint; a failed write means the client hung up
+			_ = r.WriteOpenMetrics(w)
+		case formatPrometheus:
 			w.Header().Set("Content-Type", PrometheusContentType)
 			// lint:invariant(errlost): best-effort debug endpoint; a failed write means the client hung up
 			_ = r.WritePrometheus(w)
-			return
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			// lint:invariant(errlost): best-effort debug endpoint; a failed write means the client hung up
+			_ = r.Snapshot().WriteJSON(w)
 		}
-		w.Header().Set("Content-Type", "application/json")
-		// lint:invariant(errlost): best-effort debug endpoint; a failed write means the client hung up
-		_ = r.Snapshot().WriteJSON(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -42,23 +50,37 @@ func NewDebugMux(r *Registry) *http.ServeMux {
 	return mux
 }
 
-// wantsPrometheus decides the /metrics representation. The explicit
-// ?format=prometheus query wins; otherwise a scraper-style Accept header
-// (OpenMetrics, or text/plain without asking for JSON) selects the
-// exposition format. Plain curls and browsers (Accept */* or text/html)
+// The three /metrics representations metricsFormat chooses between.
+const (
+	formatJSON = iota
+	formatPrometheus
+	formatOpenMetrics
+)
+
+// metricsFormat decides the /metrics representation. An explicit
+// ?format= query wins; otherwise a scraper-style Accept header selects
+// the exposition format — OpenMetrics when the client advertises
+// application/openmetrics-text (modern Prometheus does, and that is the
+// only rendering carrying exemplars), text 0.0.4 for text/plain without
+// asking for JSON. Plain curls and browsers (Accept */* or text/html)
 // keep getting JSON, so existing tooling is unaffected.
-func wantsPrometheus(req *http.Request) bool {
+func metricsFormat(req *http.Request) int {
 	switch req.URL.Query().Get("format") {
 	case "prometheus":
-		return true
+		return formatPrometheus
+	case "openmetrics":
+		return formatOpenMetrics
 	case "json":
-		return false
+		return formatJSON
 	}
 	accept := req.Header.Get("Accept")
-	if strings.Contains(accept, "application/openmetrics-text") {
-		return true
+	switch {
+	case strings.Contains(accept, "application/openmetrics-text"):
+		return formatOpenMetrics
+	case strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json"):
+		return formatPrometheus
 	}
-	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
+	return formatJSON
 }
 
 // publishOnce guards the process-global expvar name, which panics on

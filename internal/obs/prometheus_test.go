@@ -19,7 +19,8 @@ var promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]+)
 // promTypeRe matches a # TYPE comment line.
 var promTypeRe = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
 
-// validatePrometheus line-checks an exposition body and returns the
+// validatePrometheus line-checks an exposition body (either rendering;
+// the OpenMetrics `# EOF` terminator is accepted) and returns the
 // parsed samples (name+labels → value).
 func validatePrometheus(t *testing.T, body string) map[string]float64 {
 	t.Helper()
@@ -29,7 +30,7 @@ func validatePrometheus(t *testing.T, body string) map[string]float64 {
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
-			if !promTypeRe.MatchString(line) {
+			if line != "# EOF" && !promTypeRe.MatchString(line) {
 				t.Errorf("malformed comment line %q", line)
 			}
 			continue
@@ -125,12 +126,15 @@ func TestWritePrometheusExposition(t *testing.T) {
 	}
 }
 
-// Exemplar exposition: a bucket that received a sampled observation
-// carries the trace ID in the OpenMetrics exemplar syntax, on the bucket
-// line that holds that observation — and the body still validates
-// line-by-line against the exposition grammar.
-func TestWritePrometheusExemplars(t *testing.T) {
+// Exemplar exposition is OpenMetrics-only: in WriteOpenMetrics a bucket
+// that received a sampled observation carries the trace ID in the
+// exemplar syntax, on the bucket line that holds that observation, and
+// the body ends with `# EOF` — while the 0.0.4 WritePrometheus body
+// stays exemplar-free, because that format's grammar allows nothing
+// after a sample value (a mid-line `#` fails the whole scrape).
+func TestExpositionExemplars(t *testing.T) {
 	r := enabledRegistry()
+	r.Counter("traced.requests").Add(2)
 	h := r.Histogram("traced.seconds")
 	trace := strings.Repeat("ab", 16)
 	h.Observe(0.001)
@@ -140,11 +144,37 @@ func TestWritePrometheusExemplars(t *testing.T) {
 	if err := r.WritePrometheus(&sb); err != nil {
 		t.Fatal(err)
 	}
-	body := sb.String()
-	validatePrometheus(t, body)
+	text004 := sb.String()
+	samples := validatePrometheus(t, text004)
+	if strings.Contains(text004, "# {trace_id=") {
+		t.Error("text 0.0.4 body must not carry exemplars")
+	}
+	if strings.Contains(text004, "# EOF") {
+		t.Error("text 0.0.4 body must not carry the OpenMetrics EOF marker")
+	}
+	if samples["traced_requests"] != 2 {
+		t.Errorf("0.0.4 counter sample traced_requests = %v, want 2", samples["traced_requests"])
+	}
+
+	sb.Reset()
+	if err := r.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	om := sb.String()
+	omSamples := validatePrometheus(t, om)
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Error("OpenMetrics body must end with # EOF")
+	}
+	if omSamples["traced_requests_total"] != 2 {
+		t.Errorf("OpenMetrics counter sample traced_requests_total = %v, want 2 (samples: %v)",
+			omSamples["traced_requests_total"], omSamples)
+	}
+	if !strings.Contains(om, "# TYPE traced_requests counter") {
+		t.Error("OpenMetrics TYPE line must keep the family name without _total")
+	}
 
 	exemplarLines := 0
-	for _, line := range strings.Split(body, "\n") {
+	for _, line := range strings.Split(om, "\n") {
 		if !strings.Contains(line, "# {trace_id=") {
 			continue
 		}
@@ -216,7 +246,8 @@ func TestDebugMuxMetricsContentNegotiation(t *testing.T) {
 		return string(body), resp.Header.Get("Content-Type")
 	}
 
-	// Explicit format query: Prometheus, line-format valid.
+	// Explicit format query: Prometheus 0.0.4, line-format valid,
+	// exemplar-free.
 	body, ct := get("/metrics?format=prometheus", "")
 	if ct != PrometheusContentType {
 		t.Errorf("prometheus content-type = %q", ct)
@@ -225,15 +256,35 @@ func TestDebugMuxMetricsContentNegotiation(t *testing.T) {
 	if samples["nego_hits"] != 3 {
 		t.Errorf("nego_hits = %v, want 3", samples["nego_hits"])
 	}
+	if strings.Contains(body, "# {trace_id=") || strings.Contains(body, "# EOF") {
+		t.Error("0.0.4 rendering must carry neither exemplars nor the EOF marker")
+	}
 
-	// Scraper-style Accept headers select the exposition too.
-	for _, accept := range []string{
-		"application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.9",
-		"text/plain",
+	// OpenMetrics negotiation — explicit query or an OpenMetrics Accept
+	// header (what a modern Prometheus scraper sends) — selects the
+	// EOF-terminated rendering with _total counter samples: the only
+	// body allowed to carry exemplars.
+	for _, req := range []struct{ path, accept string }{
+		{"/metrics?format=openmetrics", ""},
+		{"/metrics", "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.9"},
 	} {
-		if body, _ := get("/metrics", accept); !strings.Contains(body, "# TYPE nego_hits counter") {
-			t.Errorf("Accept %q did not negotiate the exposition format", accept)
+		body, ct := get(req.path, req.accept)
+		if ct != OpenMetricsContentType {
+			t.Errorf("GET %s Accept %q: content-type = %q, want OpenMetrics", req.path, req.accept, ct)
 		}
+		omSamples := validatePrometheus(t, body)
+		if omSamples["nego_hits_total"] != 3 {
+			t.Errorf("nego_hits_total = %v, want 3", omSamples["nego_hits_total"])
+		}
+		if !strings.HasSuffix(body, "# EOF\n") {
+			t.Errorf("GET %s Accept %q: OpenMetrics body must end with # EOF", req.path, req.accept)
+		}
+	}
+
+	// A text/plain-only scraper still negotiates the 0.0.4 exposition.
+	if body, ct := get("/metrics", "text/plain"); ct != PrometheusContentType ||
+		!strings.Contains(body, "# TYPE nego_hits counter") {
+		t.Errorf("Accept text/plain: content-type %q did not negotiate text 0.0.4", ct)
 	}
 
 	// Default, browser, JSON-preferring and format=json requests stay JSON.

@@ -60,13 +60,11 @@ type Config struct {
 	MaxVertices int
 	// MaxBodyBytes caps the request body (default 1 MiB).
 	MaxBodyBytes int64
-	// TraceSampleRate is the head-based trace sampling rate in [0, 1]
-	// applied to requests that don't bring their own trace ID (default
-	// 1.0: every request's spans reach the JSONL sink). Sampling is
+	// TraceSampleRate is the head-based trace sampling rate in [0, 1].
+	// nil means the default 1.0 (every request's spans reach the JSONL
+	// sink); a pointer to 0 disables sampling entirely. Sampling is
 	// deterministic per trace ID, so a trace is always all-or-nothing.
-	// Note the zero value means "default to 1.0"; pass a tiny rate
-	// (e.g. 1e-9), not 0, to effectively disable emission.
-	TraceSampleRate float64
+	TraceSampleRate *float64
 	// QueueHighWater is the broker queue depth at which /readyz starts
 	// reporting unavailable (default 3/4 of QueueCap): drain traffic
 	// before the queue fills into 429s.
@@ -106,10 +104,11 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
-	// lint:invariant(floateq): the untouched zero value is the "defaulted"
-	// sentinel, never a computed float; any nonzero rate passes through.
-	if c.TraceSampleRate == 0 {
-		c.TraceSampleRate = 1
+	if c.TraceSampleRate == nil {
+		// nil (not 0) is the "defaulted" sentinel, so a caller can
+		// disable sampling with an explicit pointer to 0.
+		rate := 1.0
+		c.TraceSampleRate = &rate
 	}
 	if c.QueueHighWater == 0 {
 		c.QueueHighWater = c.QueueCap * 3 / 4
@@ -183,6 +182,16 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
+// Flush forwards http.Flusher to the underlying writer, so a streaming
+// handler behind Handler() keeps its flush behavior despite the wrap.
+// The other optional interfaces (http.Hijacker, io.ReaderFrom) are not
+// forwarded: every handler here writes plain buffered JSON.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // serveTraced is the ingress of every API request: it establishes the
 // request's TraceContext (honoring a valid inbound X-Defender-Trace-Id,
 // minting one otherwise), echoes the ID on the response, serves the
@@ -196,7 +205,7 @@ func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request) {
 	if !obs.ValidTraceID(traceID) {
 		traceID = obs.NewTraceID()
 	}
-	tc := obs.TraceContext{TraceID: traceID, Sampled: obs.SampleTrace(traceID, s.cfg.TraceSampleRate)}
+	tc := obs.TraceContext{TraceID: traceID, Sampled: obs.SampleTrace(traceID, *s.cfg.TraceSampleRate)}
 	r = r.WithContext(obs.ContextWithTrace(r.Context(), tc))
 	w.Header().Set(TraceHeader, traceID)
 
