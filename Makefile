@@ -4,6 +4,11 @@
 GO ?= go
 FUZZTIME ?= 30s
 
+# Smoke-run artifacts (lint SARIF, trace/metrics/SLO captures) land in one
+# gitignored directory instead of littering the repo root. CI uploads them
+# from here.
+SMOKEDIR ?= _smoke
+
 .PHONY: all build test lint vet race bench bench-kernel bench-scaling benchdiff fuzz-smoke linkcheck loadtest trace-smoke check
 
 # DOCS is the documentation set linkcheck keeps honest (relative links and
@@ -25,9 +30,10 @@ vet:
 # internal/analyzers and DESIGN.md "Static analysis & invariants"). Test
 # files are included, and the run leaves a SARIF report behind — locally for
 # inspection, in CI as an uploaded artifact. Findings print to stderr via
-# the per-analyzer summary; the full report lives in defenderlint.sarif.
+# the per-analyzer summary; the full report lives in $(SMOKEDIR)/defenderlint.sarif.
 lint: vet
-	$(GO) run ./cmd/defenderlint -include-tests -format=sarif -o defenderlint.sarif ./...
+	@mkdir -p $(SMOKEDIR)
+	$(GO) run ./cmd/defenderlint -include-tests -format=sarif -o $(SMOKEDIR)/defenderlint.sarif ./...
 
 race:
 	$(GO) test -race ./...
@@ -74,6 +80,7 @@ benchdiff:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz='^FuzzParseGraph6$$' -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run='^$$' -fuzz='^FuzzBuildCSR$$' -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeProfile$$' -fuzztime=$(FUZZTIME) ./internal/game
 	$(GO) test -run='^$$' -fuzz='^FuzzRatVsBigRat$$' -fuzztime=$(FUZZTIME) ./internal/rat
 	$(GO) test -run='^$$' -fuzz='^FuzzServeSolve$$' -fuzztime=$(FUZZTIME) ./internal/server
@@ -83,19 +90,24 @@ fuzz-smoke:
 # the steady-state broker + cache + encode path, not the solver. The
 # latency record (p50/p95/p99) is written to BENCH_loadgen.json and
 # appended to bench/history; the run fails below LOADTEST_MIN_RPS req/s.
-# Run it twice and `make benchdiff` gates the serve-vs-serve pair (CI's
-# serve-smoke job does exactly that).
+# The daemon asks for -solver-threads 2 to prove the parallel solver
+# path holds the floor under concurrent serving (the server clamps
+# workers x solver-threads to GOMAXPROCS, so on small runners this
+# degrades to 1 and the run is still honest). Run it twice and
+# `make benchdiff` gates the serve-vs-serve pair (CI's serve-smoke job
+# does exactly that).
 LOADTEST_ADDR ?= 127.0.0.1:18211
 LOADTEST_DURATION ?= 10s
 LOADTEST_MIN_RPS ?= 2000
 LOADTEST_CONCURRENCY ?= 32
 LOADTEST_HISTORY ?= bench/history
+LOADTEST_SOLVER_THREADS ?= 2
 loadtest:
 	@mkdir -p bin
 	$(GO) build -o bin/defenderd ./cmd/defenderd
 	$(GO) build -o bin/loadgen ./cmd/loadgen
 	@set -e; \
-	./bin/defenderd -addr $(LOADTEST_ADDR) & pid=$$!; \
+	./bin/defenderd -addr $(LOADTEST_ADDR) -solver-threads $(LOADTEST_SOLVER_THREADS) & pid=$$!; \
 	trap 'kill $$pid 2>/dev/null; wait $$pid 2>/dev/null' EXIT INT TERM; \
 	ok=0; \
 	for i in $$(seq 1 100); do \
@@ -115,19 +127,21 @@ loadtest:
 # OpenMetrics exposition carrying trace_id exemplars while the 0.0.4
 # exposition stays exemplar-free (its grammar forbids them). Leaves
 # trace_smoke.jsonl, requests_smoke.jsonl, metrics_smoke.prom (0.0.4),
-# metrics_smoke.om (OpenMetrics) and BENCH_tracegen.json behind for
-# inspection; CI's trace-smoke job adds jq assertions on top.
+# metrics_smoke.om (OpenMetrics) and BENCH_tracegen.json behind under
+# $(SMOKEDIR)/ for inspection; CI's trace-smoke job adds jq assertions
+# on top.
 TRACESMOKE_ADDR ?= 127.0.0.1:18212
 TRACESMOKE_DEBUG_ADDR ?= 127.0.0.1:18213
 TRACESMOKE_DURATION ?= 5s
 trace-smoke:
-	@mkdir -p bin
+	@mkdir -p bin $(SMOKEDIR)
 	$(GO) build -o bin/defenderd ./cmd/defenderd
 	$(GO) build -o bin/loadgen ./cmd/loadgen
 	$(GO) build -o bin/tracetool ./cmd/tracetool
 	@set -e; \
 	./bin/defenderd -addr $(TRACESMOKE_ADDR) -debug-addr $(TRACESMOKE_DEBUG_ADDR) \
-		-trace-out trace_smoke.jsonl -trace-sample 1.0 -log-out requests_smoke.jsonl & pid=$$!; \
+		-trace-out $(SMOKEDIR)/trace_smoke.jsonl -trace-sample 1.0 \
+		-log-out $(SMOKEDIR)/requests_smoke.jsonl & pid=$$!; \
 	trap 'kill $$pid 2>/dev/null; wait $$pid 2>/dev/null' EXIT INT TERM; \
 	ok=0; \
 	for i in $$(seq 1 100); do \
@@ -135,24 +149,24 @@ trace-smoke:
 		sleep 0.1; \
 	done; \
 	[ $$ok -eq 1 ] || { echo "trace-smoke: defenderd never became healthy on $(TRACESMOKE_ADDR)"; exit 1; }; \
-	curl -fsS http://$(TRACESMOKE_ADDR)/readyz > readyz_smoke.json; \
+	curl -fsS http://$(TRACESMOKE_ADDR)/readyz > $(SMOKEDIR)/readyz_smoke.json; \
 	./bin/loadgen -addr http://$(TRACESMOKE_ADDR) -duration $(TRACESMOKE_DURATION) \
 		-concurrency $(LOADTEST_CONCURRENCY) -min-rps $(LOADTEST_MIN_RPS) \
-		-bench-out BENCH_tracegen.json; \
-	curl -fsS "http://$(TRACESMOKE_DEBUG_ADDR)/metrics?format=prometheus" > metrics_smoke.prom; \
-	curl -fsS "http://$(TRACESMOKE_DEBUG_ADDR)/metrics?format=openmetrics" > metrics_smoke.om; \
-	curl -fsS http://$(TRACESMOKE_DEBUG_ADDR)/slo > slo_smoke.json; \
+		-bench-out $(SMOKEDIR)/BENCH_tracegen.json; \
+	curl -fsS "http://$(TRACESMOKE_DEBUG_ADDR)/metrics?format=prometheus" > $(SMOKEDIR)/metrics_smoke.prom; \
+	curl -fsS "http://$(TRACESMOKE_DEBUG_ADDR)/metrics?format=openmetrics" > $(SMOKEDIR)/metrics_smoke.om; \
+	curl -fsS http://$(TRACESMOKE_DEBUG_ADDR)/slo > $(SMOKEDIR)/slo_smoke.json; \
 	kill -TERM $$pid; wait $$pid 2>/dev/null || true; \
 	trap - EXIT INT TERM; \
-	./bin/tracetool -check -require server.solve trace_smoke.jsonl; \
-	./bin/tracetool trace_smoke.jsonl | grep -q 'broker\.queue_wait' \
+	./bin/tracetool -check -require server.solve $(SMOKEDIR)/trace_smoke.jsonl; \
+	./bin/tracetool $(SMOKEDIR)/trace_smoke.jsonl | grep -q 'broker\.queue_wait' \
 		|| { echo "trace-smoke: no broker.queue_wait span captured"; exit 1; }; \
-	./bin/tracetool -p99 server.solve.seconds trace_smoke.jsonl; \
-	grep -q '# {trace_id=' metrics_smoke.om \
+	./bin/tracetool -p99 server.solve.seconds $(SMOKEDIR)/trace_smoke.jsonl; \
+	grep -q '# {trace_id=' $(SMOKEDIR)/metrics_smoke.om \
 		|| { echo "trace-smoke: no trace_id exemplars in the OpenMetrics exposition"; exit 1; }; \
-	tail -1 metrics_smoke.om | grep -q '^# EOF$$' \
+	tail -1 $(SMOKEDIR)/metrics_smoke.om | grep -q '^# EOF$$' \
 		|| { echo "trace-smoke: OpenMetrics exposition missing the # EOF terminator"; exit 1; }; \
-	! grep -q '# {trace_id=' metrics_smoke.prom \
+	! grep -q '# {trace_id=' $(SMOKEDIR)/metrics_smoke.prom \
 		|| { echo "trace-smoke: exemplars leaked into the text 0.0.4 exposition (would break its parsers)"; exit 1; }
 
 linkcheck:

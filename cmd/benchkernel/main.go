@@ -51,13 +51,14 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		out     = fs.String("out", "", "write the bench record to this file")
 		history = fs.String("history", "", "also append the record to this history directory (see bench/history)")
 
-		scaling       = fs.Bool("scaling", false, "run the sparse-core scaling ladder instead of parsing bench output (see SCALING.md)")
-		scalingMaxN   = fs.Int("scaling-max-n", 1_000_000, "largest ladder size; decades 10^3..maxN run")
-		scalingAttach = fs.Int("scaling-attach", 3, "preferential-attachment edges per new vertex")
-		scalingK      = fs.Int("scaling-k", 4, "defender tuple size k")
-		scalingNu     = fs.Int("scaling-nu", 10, "number of attackers ν")
-		scalingSeed   = fs.Int64("scaling-seed", 1, "generator seed (each repetition re-solves the same instance)")
-		scalingRepeat = fs.Int("scaling-repeat", 1, "timing repetitions per size; WallMS keeps the minimum")
+		scaling        = fs.Bool("scaling", false, "run the sparse-core scaling ladder instead of parsing bench output (see SCALING.md)")
+		scalingMaxN    = fs.Int("scaling-max-n", 1_000_000, "largest ladder size; decades 10^3..maxN run")
+		scalingAttach  = fs.Int("scaling-attach", 3, "preferential-attachment edges per new vertex")
+		scalingK       = fs.Int("scaling-k", 4, "defender tuple size k")
+		scalingNu      = fs.Int("scaling-nu", 10, "number of attackers ν")
+		scalingSeed    = fs.Int64("scaling-seed", 1, "generator seed (each repetition re-solves the same instance)")
+		scalingRepeat  = fs.Int("scaling-repeat", 1, "timing repetitions per size; WallMS keeps the minimum")
+		scalingThreads = fs.String("threads", "1", "comma-separated solver thread ladder for -scaling, e.g. 1,2,4; 0 means GOMAXPROCS")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,13 +68,19 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *scaling {
+		threads, err := parseThreadsLadder(*scalingThreads)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchkernel:", err)
+			return 2
+		}
 		return runScaling(scalingConfig{
-			maxN:   *scalingMaxN,
-			attach: *scalingAttach,
-			k:      *scalingK,
-			nu:     *scalingNu,
-			seed:   *scalingSeed,
-			repeat: *scalingRepeat,
+			maxN:    *scalingMaxN,
+			attach:  *scalingAttach,
+			k:       *scalingK,
+			nu:      *scalingNu,
+			seed:    *scalingSeed,
+			repeat:  *scalingRepeat,
+			threads: threads,
 		}, *out, *history, stdout, stderr)
 	}
 
@@ -106,12 +113,38 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// parseThreadsLadder parses the -threads flag: a comma-separated list of
+// solver thread budgets, each a non-negative integer (0 = GOMAXPROCS,
+// resolved by internal/par at run time).
+func parseThreadsLadder(s string) ([]int, error) {
+	var ladder []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		t, err := strconv.Atoi(f)
+		if err != nil || t < 0 {
+			return nil, fmt.Errorf("-threads %q: rung %q is not a non-negative integer", s, f)
+		}
+		if t == 0 {
+			t = runtime.GOMAXPROCS(0)
+		}
+		ladder = append(ladder, t)
+	}
+	if len(ladder) == 0 {
+		return nil, fmt.Errorf("-threads %q leaves no rungs to run", s)
+	}
+	return ladder, nil
+}
+
 // benchLine matches one `go test -bench` result line:
 //
 //	BenchmarkAddSmall-8   12345678   95.2 ns/op   0 B/op   0 allocs/op
 //
-// The -<procs> suffix and the memory columns are optional.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// The -<procs> suffix (GOMAXPROCS during the run) and the memory columns
+// are optional.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+\d+\s+([0-9.]+) ns/op`)
 
 // pkgLine announces the package the following benchmarks belong to.
 var pkgLine = regexp.MustCompile(`^pkg:\s+(\S+)`)
@@ -130,6 +163,7 @@ func parseBench(r io.Reader) (*benchrec.Report, int, error) {
 	byID := make(map[string]*sample)
 	pkg := "kernel"
 	lines := 0
+	procs := 1
 	for sc.Scan() {
 		lines++
 		line := sc.Text()
@@ -141,7 +175,15 @@ func parseBench(r io.Reader) (*benchrec.Report, int, error) {
 		if m == nil {
 			continue
 		}
-		nsop, err := strconv.ParseFloat(m[2], 64)
+		// The -N name suffix is the GOMAXPROCS the benchmark binary ran
+		// with; before it was parsed the record always claimed workers=1,
+		// even for parallel benchmark runs.
+		if m[2] != "" {
+			if p, err := strconv.Atoi(m[2]); err == nil && p > procs {
+				procs = p
+			}
+		}
+		nsop, err := strconv.ParseFloat(m[3], 64)
 		if err != nil || nsop <= 0 {
 			continue
 		}
@@ -167,8 +209,8 @@ func parseBench(r io.Reader) (*benchrec.Report, int, error) {
 
 	rep := &benchrec.Report{
 		Suite:            "kernel-bench",
-		WorkersRequested: 1,
-		WorkersEffective: 1,
+		WorkersRequested: procs,
+		WorkersEffective: procs,
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
 	}
 	for _, id := range ids {

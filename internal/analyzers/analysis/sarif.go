@@ -9,7 +9,7 @@ import (
 
 // This file renders diagnostics machine-readably: a flat JSON array for
 // scripting (jq), and SARIF 2.1.0 for code-scanning UIs and the CI artifact
-// (.github/workflows upload defenderlint.sarif on every push).
+// (.github/workflows upload _smoke/defenderlint.sarif on every push).
 
 // jsonDiagnostic is the -format=json shape of one finding.
 type jsonDiagnostic struct {

@@ -1,0 +1,88 @@
+// Package parhot flags obs.Default() registry lookups inside par.For
+// worker closures.
+//
+// A par.For body is the hot loop of the multicore solver stack: it runs
+// once per worker per parallel region, often millions of times per solve.
+// obs.Default().Counter("...") in that position is not a metric bump but
+// a registration — a registry lock plus a name lookup — repeated on every
+// worker invocation, serializing the very loop the fan-out was supposed
+// to speed up. Metric handles are package-level singletons everywhere in
+// this repo (see OBSERVABILITY.md); the worker closure should close over
+// the hoisted handle and only Inc/Add/Set it.
+//
+// The check is syntactic over typed ASTs: any call of the obs package's
+// Default inside a function literal passed directly to par.For is
+// reported, test files excluded. Handles hoisted to package scope or to
+// locals outside the closure pass.
+package parhot
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/defender-game/defender/internal/analyzers/analysis"
+)
+
+// Analyzer flags registry lookups inside par.For worker closures.
+var Analyzer = &analysis.Analyzer{
+	Name: "parhot",
+	Doc:  "flag obs.Default() calls inside par.For worker closures; hoist the metric handle out of the parallel region",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isParFor(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if inner, ok := m.(*ast.CallExpr); ok && isDefaultCall(pass, inner) {
+						pass.Reportf(inner.Pos(), "obs.Default() inside a par.For worker closure pays a registry lookup per worker invocation; hoist the metric handle out of the parallel region")
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isParFor reports whether call invokes the par package's For.
+func isParFor(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "For" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && isParPkg(fn.Pkg().Path())
+}
+
+// isDefaultCall reports whether e is a call of the obs package's Default.
+func isDefaultCall(pass *analysis.Pass, e *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Default" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && isObsPkg(fn.Pkg().Path())
+}
+
+func isParPkg(path string) bool {
+	return path == "internal/par" || strings.HasSuffix(path, "/internal/par")
+}
+
+func isObsPkg(path string) bool {
+	return path == "internal/obs" || strings.HasSuffix(path, "/internal/obs")
+}

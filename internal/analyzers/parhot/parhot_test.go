@@ -1,0 +1,12 @@
+package parhot_test
+
+import (
+	"testing"
+
+	"github.com/defender-game/defender/internal/analyzers/analysistest"
+	"github.com/defender-game/defender/internal/analyzers/parhot"
+)
+
+func TestParHot(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", "example.com/a", parhot.Analyzer)
+}

@@ -1,0 +1,52 @@
+// Package a is the parhot fixture: metric handles are hoisted out of
+// par.For worker closures.
+package a
+
+import (
+	"internal/obs"
+	"internal/par"
+)
+
+var hits = obs.Default().Counter("a.hits")
+
+func goodHoistedPackageLevel(n int) {
+	par.For(2, n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hits.Inc()
+		}
+	})
+}
+
+func goodHoistedLocal(n int) {
+	c := obs.Default().Counter("a.local")
+	par.For(2, n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c.Inc()
+		}
+	})
+}
+
+func badRegistrationInBody(n int) {
+	par.For(2, n, func(w, lo, hi int) {
+		c := obs.Default().Counter("a.slow") // want `obs\.Default\(\) inside a par\.For worker closure`
+		for i := lo; i < hi; i++ {
+			c.Inc()
+		}
+	})
+}
+
+func badGaugeDeepInLoop(n int) {
+	par.For(par.Split(4, n, 1), n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			obs.Default().Gauge("a.depth").Set(float64(i)) // want `obs\.Default\(\) inside a par\.For worker closure`
+		}
+	})
+}
+
+func goodOutsideClosure(n int) {
+	g := obs.Default().Gauge("a.before")
+	par.For(2, n, func(w, lo, hi int) {
+		_ = lo
+	})
+	g.Set(float64(n))
+}

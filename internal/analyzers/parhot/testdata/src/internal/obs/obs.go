@@ -1,0 +1,29 @@
+// Package obs is a stand-in for the real observability registry, shaped
+// just enough for the parhot fixtures to type-check.
+package obs
+
+// Registry registers metrics by name.
+type Registry struct{}
+
+var def Registry
+
+// Default returns the process-wide registry.
+func Default() *Registry { return &def }
+
+// Counter registers a counter.
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+// Gauge registers a gauge.
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+// Counter is a stand-in metric handle.
+type Counter struct{}
+
+// Inc bumps the counter.
+func (c *Counter) Inc() {}
+
+// Gauge is a stand-in metric handle.
+type Gauge struct{}
+
+// Set stores a value.
+func (g *Gauge) Set(v float64) {}

@@ -1,0 +1,9 @@
+// Package par is a stand-in for the real parallel-for substrate, shaped
+// just enough for the parhot fixtures to type-check.
+package par
+
+// For runs fn over [0, n) split into worker chunks.
+func For(workers, n int, fn func(w, lo, hi int)) { fn(0, 0, n) }
+
+// Split shrinks a worker count to keep chunks at minGrain elements.
+func Split(workers, n, minGrain int) int { return 1 }

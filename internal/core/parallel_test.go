@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"slices"
+	"testing"
+
+	"github.com/defender-game/defender/internal/graph"
+	"github.com/defender-game/defender/internal/par"
+)
+
+// bigSparseInstance is above every parallel grain (1<<15), so a thread
+// budget > 1 really engages the multicore bodies: CSR build, bipartition,
+// Hopcroft–Karp BFS and the verifier all fan out on it.
+func bigSparseInstance() *graph.CSR {
+	return graph.NewSeededGenerator(47).BarabasiAlbertBipartiteCSR(40_000, 3)
+}
+
+// equalEquilibria reports every field of two sparse equilibria that the
+// byte-identity contract covers: supports, edge labeling, tuple table,
+// and the closed-form gain/hit rationals derived from them.
+func equalEquilibria(t *testing.T, label string, a, b *SparseEquilibrium) {
+	t.Helper()
+	if !slices.Equal(a.VPSupport, b.VPSupport) {
+		t.Errorf("%s: attacker supports differ", label)
+	}
+	if !slices.Equal(a.EdgeU, b.EdgeU) || !slices.Equal(a.EdgeV, b.EdgeV) {
+		t.Errorf("%s: edge supports differ", label)
+	}
+	if len(a.Tuples) != len(b.Tuples) {
+		t.Fatalf("%s: tuple counts differ: %d vs %d", label, len(a.Tuples), len(b.Tuples))
+	}
+	for i := range a.Tuples {
+		if !slices.Equal(a.Tuples[i], b.Tuples[i]) {
+			t.Fatalf("%s: tuple %d differs", label, i)
+		}
+	}
+	if a.DefenderGain().Cmp(b.DefenderGain()) != 0 {
+		t.Errorf("%s: gains differ: %v vs %v", label, a.DefenderGain(), b.DefenderGain())
+	}
+	if a.HitProbability().Cmp(b.HitProbability()) != 0 {
+		t.Errorf("%s: hit probabilities differ: %v vs %v", label, a.HitProbability(), b.HitProbability())
+	}
+}
+
+// TestSolveKMatchingCSRThreadsIdentity is the determinism contract of the
+// whole parallel pipeline: the equilibrium solved under thread budgets 1,
+// 2 and 8 is bit-identical — same supports, same edge labeling, same
+// tuple table — on the golden corpus and on an instance large enough for
+// every parallel body to actually engage. Budget 8 on this box is
+// oversubscribed on purpose: correctness must not depend on GOMAXPROCS.
+func TestSolveKMatchingCSRThreadsIdentity(t *testing.T) {
+	defer par.SetThreads(0)
+	instances := sparseCorpus()
+	instances["baBip40k"] = bigSparseInstance()
+	for name, c := range instances {
+		var base *SparseEquilibrium
+		for _, threads := range []int{1, 2, 8} {
+			par.SetThreads(threads)
+			ne, err := SolveKMatchingCSR(c, 5, 2)
+			if errors.Is(err, ErrKTooLarge) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s threads=%d: %v", name, threads, err)
+			}
+			if err := VerifyKMatchingCSR(ne); err != nil {
+				t.Fatalf("%s threads=%d: audit: %v", name, threads, err)
+			}
+			if base == nil {
+				base = ne
+				continue
+			}
+			equalEquilibria(t, name, base, ne)
+		}
+	}
+}
+
+// TestVerifyKMatchingCSRParallelMatchesSerial differentially replays the
+// two verifier bodies against each other: both accept a valid large
+// equilibrium, and on every corrupted variant both reject with the exact
+// same error — the parallel body's smallest-index fault reduction is the
+// serial body's first error.
+func TestVerifyKMatchingCSRParallelMatchesSerial(t *testing.T) {
+	defer par.SetThreads(0)
+	par.SetThreads(1)
+	c := bigSparseInstance()
+	base := func() *SparseEquilibrium {
+		ne, err := SolveKMatchingCSR(c, 10, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ne
+	}
+	for _, workers := range []int{2, 3} {
+		if err := verifyKMatchingCSRParallel(base(), workers); err != nil {
+			t.Fatalf("workers=%d: parallel body rejects a valid equilibrium: %v", workers, err)
+		}
+	}
+	if err := verifyKMatchingCSRSerial(base()); err != nil {
+		t.Fatalf("serial body rejects a valid equilibrium: %v", err)
+	}
+
+	mutations := map[string]func(*SparseEquilibrium){
+		"support-not-sorted": func(ne *SparseEquilibrium) {
+			ne.VPSupport[0], ne.VPSupport[1] = ne.VPSupport[1], ne.VPSupport[0]
+		},
+		"fake-edge": func(ne *SparseEquilibrium) {
+			ne.EdgeU[0], ne.EdgeV[0] = ne.VPSupport[0], ne.VPSupport[1]
+		},
+		"repeat-edge-in-tuple": func(ne *SparseEquilibrium) {
+			ne.Tuples[0] = []int32{ne.Tuples[0][0], ne.Tuples[0][0], ne.Tuples[0][1], ne.Tuples[0][2]}
+		},
+		"short-tuple": func(ne *SparseEquilibrium) {
+			ne.Tuples[len(ne.Tuples)-1] = ne.Tuples[len(ne.Tuples)-1][:2]
+		},
+		"edge-out-of-support": func(ne *SparseEquilibrium) {
+			ne.Tuples[0][0] = int32(len(ne.EdgeU))
+		},
+	}
+	for name, mutate := range mutations {
+		ne := base()
+		mutate(ne)
+		serialErr := verifyKMatchingCSRSerial(ne)
+		if serialErr == nil {
+			t.Fatalf("%s: serial body accepted the mutant", name)
+		}
+		for _, workers := range []int{2, 3} {
+			ne := base()
+			mutate(ne)
+			parErr := verifyKMatchingCSRParallel(ne, workers)
+			if parErr == nil {
+				t.Fatalf("%s workers=%d: parallel body accepted the mutant", name, workers)
+			}
+			if parErr.Error() != serialErr.Error() {
+				t.Errorf("%s workers=%d: parallel error %q, serial error %q",
+					name, workers, parErr, serialErr)
+			}
+		}
+	}
+}

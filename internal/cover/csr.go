@@ -30,7 +30,7 @@ type PartitionCSR struct {
 // Validate re-checks all partition properties against c: IS and VC
 // partition the vertices, IS is independent, and Rep is an injective map
 // from VC into adjacent IS vertices (the Hall witness of the expander
-// condition). O(n + m); allocates two bitsets.
+// condition). O(n + m); its two bitsets are pooled.
 func (p PartitionCSR) Validate(c *graph.CSR) error {
 	n := c.NumVertices()
 	if len(p.Rep) != n {
@@ -39,7 +39,8 @@ func (p PartitionCSR) Validate(c *graph.CSR) error {
 	if len(p.IS)+len(p.VC) != n {
 		return fmt.Errorf("cover: csr partition: |IS|+|VC| = %d, want %d", len(p.IS)+len(p.VC), n)
 	}
-	inIS := graph.NewBitset(n)
+	inIS := graph.GetBitset(n)
+	defer graph.PutBitset(inIS)
 	for _, v := range p.IS {
 		if v < 0 || int(v) >= n || inIS.Has(v) {
 			return fmt.Errorf("cover: csr partition: IS entry %d out of range or repeated", v)
@@ -58,7 +59,8 @@ func (p PartitionCSR) Validate(c *graph.CSR) error {
 			}
 		}
 	}
-	usedRep := graph.NewBitset(n)
+	usedRep := graph.GetBitset(n)
+	defer graph.PutBitset(usedRep)
 	for _, v := range p.VC {
 		r := p.Rep[v]
 		if r < 0 || int(r) >= n || !inIS.Has(r) {
@@ -122,10 +124,19 @@ func FindNEPartitionBipartiteCSR(c *graph.CSR) (PartitionCSR, error) {
 	if c.HasIsolatedVertex() {
 		return PartitionCSR{}, ErrIsolatedVertex
 	}
-	mate, side, err := matching.MaximumBipartiteCSR(c)
+	side, err := c.Bipartition()
 	if err != nil {
 		return PartitionCSR{}, err
 	}
+	return findNEPartitionBipartiteSide(c, side)
+}
+
+// findNEPartitionBipartiteSide is the König route with the 2-coloring
+// already in hand — the entry FindNEPartitionCSR uses so the routing
+// bipartition doubles as the matching's coloring instead of being
+// recomputed. side must be a proper 2-coloring of c.
+func findNEPartitionBipartiteSide(c *graph.CSR, side []int8) (PartitionCSR, error) {
+	mate := matching.HopcroftKarpCSRSubgraph(c, side)
 	vc := matching.KonigVertexCoverCSR(c, side, mate)
 	return partitionFromRepMatching(c, vc, mate)
 }
@@ -181,14 +192,15 @@ func FindNEPartitionGreedyCSR(c *graph.CSR) (PartitionCSR, error) {
 // solvers use, routed by the bipartiteness check: bipartite graphs take
 // the König route (polynomial, always succeeds), everything else the
 // greedy-plus-SDR heuristic (which cannot prove non-existence — exact
-// refutation stays on the dense path, FindNEPartitionExact). O(m sqrt n)
-// on the bipartite route.
+// refutation stays on the dense path, FindNEPartitionExact). The routing
+// BFS is the König route's 2-coloring, so bipartite instances pay for
+// exactly one bipartition. O(m sqrt n) on the bipartite route.
 func FindNEPartitionCSR(c *graph.CSR) (PartitionCSR, error) {
 	if c.HasIsolatedVertex() {
 		return PartitionCSR{}, ErrIsolatedVertex
 	}
-	if c.IsBipartite() {
-		return FindNEPartitionBipartiteCSR(c)
+	if side, err := c.Bipartition(); err == nil {
+		return findNEPartitionBipartiteSide(c, side)
 	}
 	return FindNEPartitionGreedyCSR(c)
 }
@@ -199,7 +211,8 @@ func FindNEPartitionCSR(c *graph.CSR) (PartitionCSR, error) {
 // and the sort scratch.
 func GreedyIndependentSetCSR(c *graph.CSR, order []int32) []int32 {
 	n := c.NumVertices()
-	blocked := graph.NewBitset(n)
+	blocked := graph.GetBitset(n)
+	defer graph.PutBitset(blocked)
 	var is []int32
 	for _, v := range order {
 		if v < 0 || int(v) >= n || blocked.Has(v) {
@@ -225,7 +238,8 @@ func partitionFromRepMatching(c *graph.CSR, vc []int32, mate []int32) (Partition
 	for i := range rep {
 		rep[i] = matching.Unmatched
 	}
-	inVC := graph.NewBitset(n)
+	inVC := graph.GetBitset(n)
+	defer graph.PutBitset(inVC)
 	for _, v := range vc {
 		inVC.Set(v)
 	}

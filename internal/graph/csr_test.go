@@ -4,6 +4,8 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+
+	"github.com/defender-game/defender/internal/par"
 )
 
 // csrCorpus returns the seeded mixed corpus the CSR properties are tested
@@ -251,6 +253,72 @@ func TestBitset(t *testing.T) {
 	for _, v := range []int32{0, 63, 64, 129} {
 		if b.Has(v) {
 			t.Fatalf("reset bitset still has %d", v)
+		}
+	}
+}
+
+// TestCSRThreadsIdentity pins the multicore determinism contract of the
+// bulk CSR paths on an instance above the parallel grain: BuildCSR and
+// Bipartition produce bit-identical results under thread budgets 1, 2
+// and 8 (8 is deliberately oversubscribed on small CI boxes).
+func TestCSRThreadsIdentity(t *testing.T) {
+	defer par.SetThreads(0)
+	par.SetThreads(1)
+	base := NewSeededGenerator(47).BarabasiAlbertBipartiteCSR(40_000, 3)
+	baseSide, err := base.Bipartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var us, vs []int32
+	base.EachEdge(func(u, v int32) {
+		us = append(us, u)
+		vs = append(vs, v)
+	})
+	for _, threads := range []int{2, 8} {
+		par.SetThreads(threads)
+		c, err := BuildCSR(base.NumVertices(), us, vs)
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if !reflect.DeepEqual(c.RowPtr, base.RowPtr) || !reflect.DeepEqual(c.Col, base.Col) {
+			t.Fatalf("threads=%d: parallel BuildCSR differs from serial", threads)
+		}
+		side, err := c.Bipartition()
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if !reflect.DeepEqual(side, baseSide) {
+			t.Fatalf("threads=%d: parallel Bipartition differs from serial", threads)
+		}
+	}
+}
+
+// TestBipartitionParallelOddCycle checks the parallel route rejects odd
+// cycles like the serial one, with a deterministic (thread-invariant)
+// conflict edge in the message.
+func TestBipartitionParallelOddCycle(t *testing.T) {
+	// An odd cycle big enough to clear the grain guard.
+	n := 70_001
+	us := make([]int32, n)
+	vs := make([]int32, n)
+	for i := 0; i < n; i++ {
+		us[i] = int32(i)
+		vs[i] = int32((i + 1) % n)
+	}
+	c, err := BuildCSR(n, us, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first string
+	for _, workers := range []int{2, 3, 8} {
+		_, err := c.bipartitionParallel(workers)
+		if !errors.Is(err, ErrNotBipartite) {
+			t.Fatalf("workers=%d: err = %v, want ErrNotBipartite", workers, err)
+		}
+		if first == "" {
+			first = err.Error()
+		} else if err.Error() != first {
+			t.Fatalf("workers=%d: conflict message %q differs from %q", workers, err, first)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"slices"
 	"strings"
 	"testing"
 )
@@ -47,6 +48,49 @@ func FuzzParseGraph6(f *testing.F) {
 		for _, e := range g.Edges() {
 			if !back.HasEdge(e.U, e.V) {
 				t.Fatalf("round trip dropped edge %v", e)
+			}
+		}
+	})
+}
+
+// FuzzBuildCSR differentially fuzzes the multicore CSR bulk load against
+// the serial reference: for any edge list — valid or not — the parallel
+// body invoked at several worker counts must reproduce the serial
+// BuildCSR outcome exactly, same RowPtr/Col arrays on acceptance and the
+// same error (message included) on rejection. Endpoints are raw bytes
+// against a small n, so out-of-range, self-loop and duplicate faults all
+// occur naturally.
+func FuzzBuildCSR(f *testing.F) {
+	f.Add(6, []byte{0, 1, 1, 2, 2, 3, 3, 4, 4, 5})
+	f.Add(4, []byte{0, 1, 1, 0})  // duplicate, reversed orientation
+	f.Add(3, []byte{1, 1})        // self-loop
+	f.Add(2, []byte{0, 7})        // out of range
+	f.Add(5, []byte{0, 9, 2, 2, 1, 3}) // range fault before self-loop
+	f.Add(0, []byte{})
+	f.Fuzz(func(t *testing.T, n int, data []byte) {
+		n = int(uint(n) % 64)
+		m := len(data) / 2
+		us := make([]int32, m)
+		vs := make([]int32, m)
+		for i := 0; i < m; i++ {
+			us[i] = int32(data[2*i])
+			vs[i] = int32(data[2*i+1])
+		}
+		want, wantErr := BuildCSR(n, us, vs)
+		for _, workers := range []int{2, 3, 5} {
+			got := &CSR{RowPtr: make([]int32, n+1), Col: make([]int32, 2*m)}
+			err := buildCSRParallel(got, n, us, vs, workers)
+			switch {
+			case (err == nil) != (wantErr == nil):
+				t.Fatalf("workers=%d: err = %v, serial err = %v", workers, err, wantErr)
+			case err != nil:
+				if err.Error() != wantErr.Error() {
+					t.Fatalf("workers=%d: err %q, serial err %q", workers, err, wantErr)
+				}
+			default:
+				if !slices.Equal(got.RowPtr, want.RowPtr) || !slices.Equal(got.Col, want.Col) {
+					t.Fatalf("workers=%d: parallel CSR differs from serial", workers)
+				}
 			}
 		}
 	})
